@@ -1,0 +1,112 @@
+// Command nsdf-dashboard serves the step-4 interactive dashboard over one
+// or more IDX datasets. With -demo it synthesises a Tennessee dataset
+// first so the dashboard works out of the box.
+//
+// Usage:
+//
+//	nsdf-dashboard -addr :8080 -data name=./tennessee.idxdata
+//	nsdf-dashboard -demo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"nsdfgo/internal/dashboard"
+	"nsdfgo/internal/dem"
+	"nsdfgo/internal/geotiled"
+	"nsdfgo/internal/idx"
+	"nsdfgo/internal/query"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nsdf-dashboard:", err)
+		os.Exit(1)
+	}
+}
+
+type dataFlags []string
+
+func (d *dataFlags) String() string { return strings.Join(*d, ",") }
+
+// Set implements flag.Value.
+func (d *dataFlags) Set(v string) error {
+	*d = append(*d, v)
+	return nil
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheMB := flag.Int("cache-mb", 64, "block cache size per dataset in MiB")
+	demo := flag.Bool("demo", false, "synthesise and register a demo Tennessee dataset")
+	var data dataFlags
+	flag.Var(&data, "data", "dataset as name=path/to/idx/dir (repeatable)")
+	flag.Parse()
+
+	server := dashboard.NewServer()
+	registered := 0
+	for _, spec := range data {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("bad -data %q (want name=path)", spec)
+		}
+		be, err := idx.NewDirBackend(path)
+		if err != nil {
+			return err
+		}
+		ds, err := idx.Open(be)
+		if err != nil {
+			return fmt.Errorf("open %s: %w", path, err)
+		}
+		server.Register(name, query.New(ds, int64(*cacheMB)<<20))
+		fmt.Printf("registered %s: %dx%d, %d fields, %d timesteps\n",
+			name, ds.Meta.Dims[0], ds.Meta.Dims[1], len(ds.Meta.Fields), ds.Meta.Timesteps)
+		registered++
+	}
+	if *demo {
+		ds, err := buildDemoDataset()
+		if err != nil {
+			return fmt.Errorf("demo dataset: %w", err)
+		}
+		server.Register("tennessee_demo", query.New(ds, int64(*cacheMB)<<20))
+		fmt.Println("registered tennessee_demo (synthetic 512x256, 4 fields)")
+		registered++
+	}
+	if registered == 0 {
+		return fmt.Errorf("nothing to serve: pass -data name=path or -demo")
+	}
+	fmt.Printf("dashboard listening on %s\n", *addr)
+	return http.ListenAndServe(*addr, server)
+}
+
+// buildDemoDataset synthesises the tutorial's Tennessee scene in memory.
+func buildDemoDataset() (*idx.Dataset, error) {
+	d := dem.Tennessee(512, 256, 20240624)
+	fields := make([]idx.Field, 0, len(geotiled.TutorialParams))
+	for _, p := range geotiled.TutorialParams {
+		fields = append(fields, idx.Field{Name: p.String(), Type: idx.Float32})
+	}
+	meta, err := idx.NewMeta([]int{512, 256}, fields)
+	if err != nil {
+		return nil, err
+	}
+	meta.Geo = d.Geo
+	ds, err := idx.Create(idx.NewMemBackend(), meta)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range geotiled.TutorialParams {
+		g, err := geotiled.ComputeTiled(d, p, geotiled.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if err := ds.WriteGrid(p.String(), 0, g); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}

@@ -1,0 +1,48 @@
+// Command nsdf-experiments regenerates the paper's tables and figures
+// (see DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
+// paper-vs-measured record).
+//
+// Usage:
+//
+//	nsdf-experiments -run all
+//	nsdf-experiments -run fig5
+//	nsdf-experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nsdfgo/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nsdf-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	id := flag.String("run", "all", "experiment id (see -list) or all")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	runners := experiments.Runners()
+	if *list {
+		for _, r := range runners {
+			fmt.Println(r.ID)
+		}
+		return nil
+	}
+	if *id == "all" {
+		return experiments.All(os.Stdout)
+	}
+	for _, r := range runners {
+		if r.ID == *id {
+			return r.Run(os.Stdout)
+		}
+	}
+	return fmt.Errorf("unknown experiment %q (try -list)", *id)
+}

@@ -1,0 +1,106 @@
+// Command nsdf-netmon runs the NSDF-Plugin's measurement role over the
+// simulated 8-site testbed: full-mesh probe sweeps, the latency and
+// throughput matrices of Fig. 2, constraint scans, and a continuous
+// monitoring mode that flags degrading links (optionally with an injected
+// degradation to demonstrate detection).
+//
+// Usage:
+//
+//	nsdf-netmon -probes 20
+//	nsdf-netmon -monitor 5 -degrade utk:umich:4:1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"nsdfgo/internal/netmon"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nsdf-netmon:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	probes := flag.Int("probes", 20, "probes per site pair per sweep")
+	seed := flag.Int64("seed", 20240624, "probe noise seed")
+	maxRTT := flag.Duration("max-rtt", 60*time.Millisecond, "constraint: maximum acceptable mean RTT")
+	minGbps := flag.Float64("min-gbps", 15, "constraint: minimum acceptable mean throughput (Gbps)")
+	monitor := flag.Int("monitor", 0, "run N monitoring sweeps and report degradation alerts")
+	degrade := flag.String("degrade", "", "inject degradation before the final sweep: from:to:rttFactor:bwFactor")
+	flag.Parse()
+
+	net, err := netmon.NewNetwork(netmon.Testbed(), *seed)
+	if err != nil {
+		return err
+	}
+
+	if *monitor > 0 {
+		return runMonitor(net, *monitor, *probes, *degrade)
+	}
+
+	rep, err := net.Measure(*probes)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.LatencyMatrix())
+	fmt.Println()
+	fmt.Print(rep.ThroughputMatrix())
+	cons := rep.Constraints(*maxRTT, *minGbps*1e9)
+	fmt.Printf("\nconstraints (RTT > %v or throughput < %.1f Gbps): %d pairs\n", *maxRTT, *minGbps, len(cons))
+	for _, c := range cons {
+		fmt.Printf("  %-16s %s\n", c.Pair, c.Reason)
+	}
+	return nil
+}
+
+func runMonitor(net *netmon.Network, sweeps, probes int, degrade string) error {
+	mon, err := netmon.NewMonitor(net, sweeps+1)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < sweeps; i++ {
+		if _, err := mon.Tick(probes); err != nil {
+			return err
+		}
+		fmt.Printf("sweep %d/%d complete\n", i+1, sweeps)
+	}
+	if degrade != "" {
+		parts := strings.Split(degrade, ":")
+		if len(parts) != 4 {
+			return fmt.Errorf("bad -degrade %q (want from:to:rttFactor:bwFactor)", degrade)
+		}
+		rttF, err1 := strconv.ParseFloat(parts[2], 64)
+		bwF, err2 := strconv.ParseFloat(parts[3], 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad -degrade factors in %q", degrade)
+		}
+		if err := net.Degrade(parts[0], parts[1], rttF, bwF); err != nil {
+			return err
+		}
+		fmt.Printf("injected degradation on %s->%s (rtt x%g, bw /%g)\n", parts[0], parts[1], rttF, bwF)
+	}
+	if _, err := mon.Tick(probes); err != nil {
+		return err
+	}
+	alerts, err := mon.Alerts(2, 2)
+	if err != nil {
+		return err
+	}
+	if len(alerts) == 0 {
+		fmt.Println("no degradation detected")
+		return nil
+	}
+	fmt.Printf("%d degradation alert(s):\n", len(alerts))
+	for _, a := range alerts {
+		fmt.Printf("  %-16s %s\n", a.Pair, a.Reason)
+	}
+	return nil
+}

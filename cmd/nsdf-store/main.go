@@ -1,0 +1,44 @@
+// Command nsdf-store runs the object-storage service the tutorial's
+// workflow uploads to and streams from. With -token it behaves like the
+// private Seal Storage deployment (bearer-token auth); without, like a
+// public endpoint. Storage is backed by a directory, so data survives
+// restarts.
+//
+// Usage:
+//
+//	nsdf-store -addr :9000 -root ./objects -token secret
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"nsdfgo/internal/storage"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nsdf-store:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":9000", "listen address")
+	root := flag.String("root", "./objects", "object storage directory")
+	token := flag.String("token", "", "bearer token; empty serves a public store")
+	flag.Parse()
+
+	store, err := storage.NewFileStore(*root)
+	if err != nil {
+		return err
+	}
+	mode := "public"
+	if *token != "" {
+		mode = "private (token auth)"
+	}
+	fmt.Printf("object store listening on %s, root %s, %s\n", *addr, *root, mode)
+	return http.ListenAndServe(*addr, storage.NewServer(store, *token))
+}

@@ -1,0 +1,80 @@
+// Command somospie runs the SOMOSPIE soil-moisture workflow on the NSDF
+// fabric: GEOtiled terrain covariates → synthetic satellite truth and
+// sparse observations (published to Dataverse as NetCDF) → model
+// competition (kNN / IDW / OLS) → gridded downscaled product published as
+// an IDX dataset.
+//
+// Usage:
+//
+//	somospie -width 256 -height 160 -observations 2000 -seed 7
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"nsdfgo/internal/catalog"
+	"nsdfgo/internal/core"
+	"nsdfgo/internal/metrics"
+	"nsdfgo/internal/raster"
+	"nsdfgo/internal/somospie"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "somospie:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	width := flag.Int("width", 192, "region width in pixels")
+	height := flag.Int("height", 128, "region height in pixels")
+	observations := flag.Int("observations", 1200, "sparse observation count")
+	testFrac := flag.Float64("test-fraction", 0.25, "held-out fraction for evaluation")
+	seed := flag.Uint64("seed", 20240624, "synthesis seed")
+	flag.Parse()
+
+	fabric := core.NewFabric()
+	w, err := fabric.MoistureWorkflow(core.MoistureConfig{
+		Width: *width, Height: *height, Seed: *seed,
+		Observations: *observations, TestFraction: *testFrac,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("running SOMOSPIE workflow: %dx%d, %d observations, seed %d\n\n",
+		*width, *height, *observations, *seed)
+	bb, trail, err := w.Run(context.Background())
+	fmt.Println("provenance trail:")
+	fmt.Print(trail.String())
+	if err != nil {
+		return err
+	}
+
+	reports, _ := core.Fetch[[]somospie.EvalReport](bb, core.KeyEvaluations)
+	fmt.Println("\nmodel competition (held-out evaluation):")
+	for _, rep := range reports {
+		fmt.Printf("  %s\n", rep)
+	}
+	best, _ := core.Fetch[string](bb, core.KeyBestModel)
+	fmt.Printf("winner: %s\n", best)
+
+	pred, _ := core.Fetch[*raster.Grid](bb, core.KeyPrediction)
+	truth, _ := core.Fetch[*raster.Grid](bb, core.KeyTruth)
+	rep, err := metrics.Compare(truth.Data, pred.Data, truth.W, truth.H)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ngridded product vs truth: %s\n", rep)
+
+	doi, _ := core.Fetch[string](bb, core.KeyDOI)
+	fmt.Printf("\nobservation product: %s (NetCDF on Dataverse)\n", doi)
+	fmt.Println("catalog records:")
+	for _, r := range fabric.Catalog.Search(catalog.Query{Terms: "moisture", Limit: 10}) {
+		fmt.Printf("  %-24s %-12s %9d B  %s\n", r.Name, r.Source, r.Size, r.Location)
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+// Package nsdfgo is a from-scratch Go reproduction of the software stack
+// behind "Leveraging National Science Data Fabric Services to Train Data
+// Scientists" (Taufer et al., SC 2024): the IDX multiresolution data
+// format with hierarchical Z-order indexing, the GEOtiled terrain engine,
+// the SOMOSPIE soil-moisture inference engine, the NSDF storage, catalog,
+// FUSE-mapping, and network-monitoring services, and the interactive
+// dashboard — wired together by the tutorial's four-step modular
+// workflow.
+//
+// The implementation lives under internal/; runnable entry points are the
+// commands under cmd/ and the programs under examples/. bench_test.go in
+// this directory regenerates every table and figure of the paper as a
+// benchmark; see DESIGN.md and EXPERIMENTS.md.
+package nsdfgo

@@ -1,0 +1,3 @@
+module nsdfgo
+
+go 1.22

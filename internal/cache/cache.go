@@ -1,0 +1,147 @@
+// Package cache provides the size-bounded, concurrency-safe LRU block
+// cache behind the IDX streaming stack ("the caching-enabled framework
+// also allows users to extract any rectangular subsets of the input data
+// progressively"). Keys are block object names; values are decompressed
+// block payloads.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Stats reports cache effectiveness counters.
+type Stats struct {
+	// Hits and Misses count Get outcomes.
+	Hits, Misses int64
+	// Evictions counts entries displaced by the size bound.
+	Evictions int64
+	// Entries is the current entry count.
+	Entries int
+	// Bytes is the current payload footprint.
+	Bytes int64
+}
+
+// HitRate returns Hits / (Hits+Misses), or 0 before any traffic.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// LRU is a least-recently-used byte cache with a maximum total payload
+// size. It is safe for concurrent use. It satisfies idx.BlockCache.
+type LRU struct {
+	mu       sync.Mutex
+	maxBytes int64
+	curBytes int64
+	ll       *list.List // front = most recent
+	items    map[string]*list.Element
+	hits     int64
+	misses   int64
+	evicts   int64
+}
+
+type entry struct {
+	key  string
+	data []byte
+}
+
+// NewLRU constructs a cache bounded to maxBytes of payload. A bound <= 0
+// disables caching (all Gets miss, Puts are dropped), which keeps "no
+// cache" configurations uniform in sweeps.
+func NewLRU(maxBytes int64) *LRU {
+	return &LRU{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached payload for key and marks it recently used.
+func (c *LRU) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).data, true
+}
+
+// Put stores the payload under key. Payloads larger than the whole cache
+// are ignored. The caller must not mutate data after Put (payloads are
+// shared, not copied, to keep the hot path allocation-free; IDX block
+// payloads are immutable once decoded).
+func (c *LRU) Put(key string, data []byte) {
+	if c.maxBytes <= 0 || int64(len(data)) > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		old := el.Value.(*entry)
+		c.curBytes += int64(len(data)) - int64(len(old.data))
+		old.data = data
+		c.ll.MoveToFront(el)
+	} else {
+		el := c.ll.PushFront(&entry{key: key, data: data})
+		c.items[key] = el
+		c.curBytes += int64(len(data))
+	}
+	for c.curBytes > c.maxBytes {
+		c.evictOldest()
+	}
+}
+
+// evictOldest removes the least recently used entry. Caller holds mu.
+func (c *LRU) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.curBytes -= int64(len(e.data))
+	c.evicts++
+}
+
+// Remove drops key from the cache if present.
+func (c *LRU) Remove(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry)
+		c.ll.Remove(el)
+		delete(c.items, key)
+		c.curBytes -= int64(len(e.data))
+	}
+}
+
+// Clear empties the cache, keeping counters.
+func (c *LRU) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+	c.curBytes = 0
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *LRU) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evicts,
+		Entries:   len(c.items),
+		Bytes:     c.curBytes,
+	}
+}

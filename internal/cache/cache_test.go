@@ -1,0 +1,190 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestGetPut(t *testing.T) {
+	c := NewLRU(1024)
+	if _, ok := c.Get("a"); ok {
+		t.Error("empty cache hit")
+	}
+	c.Put("a", []byte("hello"))
+	got, ok := c.Get("a")
+	if !ok || string(got) != "hello" {
+		t.Errorf("Get = %q, %v", got, ok)
+	}
+}
+
+func TestEvictionBySize(t *testing.T) {
+	c := NewLRU(10)
+	c.Put("a", []byte("12345"))
+	c.Put("b", []byte("12345"))
+	c.Put("c", []byte("1")) // evicts a (oldest)
+	if _, ok := c.Get("a"); ok {
+		t.Error("a not evicted")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Error("b evicted prematurely")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c missing")
+	}
+	s := c.Stats()
+	if s.Evictions != 1 {
+		t.Errorf("evictions = %d", s.Evictions)
+	}
+	if s.Bytes != 6 {
+		t.Errorf("bytes = %d", s.Bytes)
+	}
+}
+
+func TestLRUOrderRefreshedByGet(t *testing.T) {
+	c := NewLRU(10)
+	c.Put("a", []byte("12345"))
+	c.Put("b", []byte("12345"))
+	c.Get("a")                // a becomes most recent
+	c.Put("c", []byte("1id")) // evicts b
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently used a evicted")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+}
+
+func TestUpdateExistingKey(t *testing.T) {
+	c := NewLRU(100)
+	c.Put("k", []byte("aaaa"))
+	c.Put("k", []byte("bb"))
+	got, ok := c.Get("k")
+	if !ok || string(got) != "bb" {
+		t.Errorf("updated value = %q", got)
+	}
+	if s := c.Stats(); s.Bytes != 2 || s.Entries != 1 {
+		t.Errorf("stats after update: %+v", s)
+	}
+}
+
+func TestOversizePayloadIgnored(t *testing.T) {
+	c := NewLRU(4)
+	c.Put("big", []byte("123456789"))
+	if _, ok := c.Get("big"); ok {
+		t.Error("oversize payload cached")
+	}
+}
+
+func TestZeroCapacityDisables(t *testing.T) {
+	c := NewLRU(0)
+	c.Put("a", []byte("x"))
+	if _, ok := c.Get("a"); ok {
+		t.Error("zero-capacity cache stored data")
+	}
+}
+
+func TestRemoveAndClear(t *testing.T) {
+	c := NewLRU(100)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	c.Remove("a")
+	if _, ok := c.Get("a"); ok {
+		t.Error("removed key present")
+	}
+	c.Remove("missing") // no-op
+	c.Clear()
+	if _, ok := c.Get("b"); ok {
+		t.Error("cleared key present")
+	}
+	if s := c.Stats(); s.Entries != 0 || s.Bytes != 0 {
+		t.Errorf("stats after clear: %+v", s)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	c := NewLRU(100)
+	c.Put("a", []byte("1"))
+	c.Get("a")
+	c.Get("a")
+	c.Get("x")
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 {
+		t.Errorf("hits=%d misses=%d", s.Hits, s.Misses)
+	}
+	if r := s.HitRate(); r < 0.66 || r > 0.67 {
+		t.Errorf("hit rate %v", r)
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Error("empty hit rate not 0")
+	}
+}
+
+func TestBytesInvariantProperty(t *testing.T) {
+	// After any sequence of puts, tracked bytes equals the sum of live
+	// entries and never exceeds the bound.
+	f := func(ops []uint16) bool {
+		c := NewLRU(64)
+		for _, op := range ops {
+			key := fmt.Sprintf("k%d", op%16)
+			size := int(op % 20)
+			c.Put(key, make([]byte, size))
+		}
+		s := c.Stats()
+		if s.Bytes > 64 {
+			return false
+		}
+		var total int64
+		c.mu.Lock()
+		for _, el := range c.items {
+			total += int64(len(el.Value.(*entry).data))
+		}
+		c.mu.Unlock()
+		return total == s.Bytes && len(c.items) == s.Entries
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := NewLRU(1 << 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (w*31+i)%64)
+				if i%3 == 0 {
+					c.Put(key, make([]byte, 32))
+				} else {
+					c.Get(key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := c.Stats(); s.Bytes < 0 {
+		t.Errorf("negative bytes: %+v", s)
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	c := NewLRU(1 << 20)
+	c.Put("key", make([]byte, 4096))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Get("key")
+	}
+}
+
+func BenchmarkPutEvict(b *testing.B) {
+	c := NewLRU(1 << 16)
+	payload := make([]byte, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Put(fmt.Sprintf("k%d", i), payload)
+	}
+}

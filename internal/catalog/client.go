@@ -1,0 +1,137 @@
+package catalog
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client talks to a catalog Server over HTTP, mirroring the Catalog's
+// Add/Get/Search/Stats API so tools work identically against a local or
+// remote catalog.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient connects to a catalog service at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		http: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// Add ingests records remotely and returns the number added.
+func (c *Client) Add(ctx context.Context, records ...Record) (int, error) {
+	body, err := json.Marshal(records)
+	if err != nil {
+		return 0, fmt.Errorf("catalog: client: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/records", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("catalog: client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return 0, fmt.Errorf("catalog: client: ingest status %s", resp.Status)
+	}
+	var out map[string]int
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, fmt.Errorf("catalog: client: %w", err)
+	}
+	return out["added"], nil
+}
+
+// Get fetches one record by id.
+func (c *Client) Get(ctx context.Context, id string) (Record, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/records/"+url.PathEscape(id), nil)
+	if err != nil {
+		return Record{}, false, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return Record{}, false, fmt.Errorf("catalog: client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return Record{}, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Record{}, false, fmt.Errorf("catalog: client: get status %s", resp.Status)
+	}
+	var rec Record
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		return Record{}, false, fmt.Errorf("catalog: client: %w", err)
+	}
+	return rec, true, nil
+}
+
+// Search runs a remote query.
+func (c *Client) Search(ctx context.Context, q Query) ([]Record, error) {
+	qv := url.Values{}
+	if q.Terms != "" {
+		qv.Set("q", q.Terms)
+	}
+	if q.Source != "" {
+		qv.Set("source", q.Source)
+	}
+	if q.Type != "" {
+		qv.Set("type", q.Type)
+	}
+	if q.NamePrefix != "" {
+		qv.Set("prefix", q.NamePrefix)
+	}
+	if q.Limit > 0 {
+		qv.Set("limit", strconv.Itoa(q.Limit))
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/search?"+qv.Encode(), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("catalog: client: search status %s", resp.Status)
+	}
+	var out []Record
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("catalog: client: %w", err)
+	}
+	return out, nil
+}
+
+// Stats fetches the remote catalog summary.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/stats", nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return Stats{}, fmt.Errorf("catalog: client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Stats{}, fmt.Errorf("catalog: client: stats status %s", resp.Status)
+	}
+	var out Stats
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return Stats{}, fmt.Errorf("catalog: client: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Server exposes a Catalog over HTTP:
+//
+//	POST /records           ingest a JSON array of records
+//	GET  /records/<id>      fetch one record
+//	GET  /search?q=&source=&type=&prefix=&limit=
+//	GET  /stats             catalog summary
+//	GET  /healthz           liveness probe
+type Server struct {
+	cat *Catalog
+}
+
+// NewServer wraps a catalog for HTTP serving.
+func NewServer(cat *Catalog) *Server { return &Server{cat: cat} }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/healthz":
+		fmt.Fprintln(w, "ok")
+	case r.URL.Path == "/records" && r.Method == http.MethodPost:
+		s.handleIngest(w, r)
+	case len(r.URL.Path) > len("/records/") && r.URL.Path[:9] == "/records/" && r.Method == http.MethodGet:
+		s.handleGet(w, r, r.URL.Path[9:])
+	case r.URL.Path == "/search" && r.Method == http.MethodGet:
+		s.handleSearch(w, r)
+	case r.URL.Path == "/stats" && r.Method == http.MethodGet:
+		writeJSON(w, s.cat.Stats())
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var records []Record
+	if err := json.NewDecoder(r.Body).Decode(&records); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	added, err := s.cat.Add(records...)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, map[string]int{"added": added})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request, id string) {
+	rec, ok := s.cat.Get(id)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, rec)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	qv := r.URL.Query()
+	limit := 0
+	if ls := qv.Get("limit"); ls != "" {
+		v, err := strconv.Atoi(ls)
+		if err != nil || v < 0 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		limit = v
+	}
+	results := s.cat.Search(Query{
+		Terms:      qv.Get("q"),
+		Source:     qv.Get("source"),
+		Type:       qv.Get("type"),
+		NamePrefix: qv.Get("prefix"),
+		Limit:      limit,
+	})
+	if results == nil {
+		results = []Record{}
+	}
+	writeJSON(w, results)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,391 @@
+// Package cloudsim reimplements NSDF-Cloud (Luettgau et al., HPDC 2022:
+// "NSDF-Cloud: Enabling Ad-Hoc Compute Clusters Across Academic and
+// Commercial Clouds"): a single API for provisioning ad-hoc compute
+// clusters across heterogeneous academic (Jetstream, Chameleon, CloudLab)
+// and commercial (AWS-like) providers, running task bundles on them, and
+// accounting cost.
+//
+// Real cloud allocations are a resource gate, so provisioning and
+// execution are simulated under a virtual clock: boot times are drawn
+// from seeded per-provider distributions, task bundles are scheduled with
+// a longest-processing-time greedy policy over the acquired slots, and
+// commercial cost accrues per node-hour. Everything is deterministic in
+// the seed, so scheduling experiments are reproducible.
+package cloudsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Flavor is a VM shape offered by a provider.
+type Flavor struct {
+	// Name identifies the flavor (e.g. "m1.large").
+	Name string
+	// VCPUs is the virtual CPU count.
+	VCPUs int
+	// MemGB is the memory in GiB.
+	MemGB int
+	// PricePerHour is the cost per node-hour in USD (0 for allocations
+	// on academic clouds).
+	PricePerHour float64
+}
+
+// Provider is one cloud endpoint the unified API can target.
+type Provider struct {
+	// Name identifies the provider.
+	Name string
+	// Academic providers bill no money (allocation-based); commercial
+	// ones accrue PricePerHour.
+	Academic bool
+	// Flavors lists the provisionable shapes.
+	Flavors []Flavor
+	// BootMean and BootJitter parameterise instance boot time.
+	BootMean, BootJitter time.Duration
+	// Capacity is the maximum concurrently provisioned node count.
+	Capacity int
+}
+
+// Flavor returns the named flavor.
+func (p *Provider) Flavor(name string) (Flavor, error) {
+	for _, f := range p.Flavors {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return Flavor{}, fmt.Errorf("cloudsim: provider %s has no flavor %q", p.Name, name)
+}
+
+// DefaultProviders returns the four providers the NSDF-Cloud paper
+// targets, with plausible flavor tables.
+func DefaultProviders() []Provider {
+	return []Provider{
+		{
+			Name: "jetstream", Academic: true,
+			Flavors: []Flavor{
+				{Name: "m1.medium", VCPUs: 6, MemGB: 16},
+				{Name: "m1.large", VCPUs: 10, MemGB: 30},
+			},
+			BootMean: 95 * time.Second, BootJitter: 40 * time.Second, Capacity: 32,
+		},
+		{
+			Name: "chameleon", Academic: true,
+			Flavors: []Flavor{
+				{Name: "compute.haswell", VCPUs: 24, MemGB: 128},
+			},
+			BootMean: 600 * time.Second, BootJitter: 180 * time.Second, Capacity: 12,
+		},
+		{
+			Name: "cloudlab", Academic: true,
+			Flavors: []Flavor{
+				{Name: "c6525-25g", VCPUs: 16, MemGB: 128},
+			},
+			BootMean: 420 * time.Second, BootJitter: 150 * time.Second, Capacity: 16,
+		},
+		{
+			Name: "aws", Academic: false,
+			Flavors: []Flavor{
+				{Name: "c5.2xlarge", VCPUs: 8, MemGB: 16, PricePerHour: 0.34},
+				{Name: "c5.4xlarge", VCPUs: 16, MemGB: 32, PricePerHour: 0.68},
+			},
+			BootMean: 45 * time.Second, BootJitter: 15 * time.Second, Capacity: 64,
+		},
+	}
+}
+
+// Sim is the unified multi-cloud provisioning endpoint.
+type Sim struct {
+	mu        sync.Mutex
+	providers map[string]*Provider
+	order     []string
+	inUse     map[string]int
+	rng       *rand.Rand
+	nextID    int
+}
+
+// NewSim builds a simulator over the given providers with a fixed seed.
+func NewSim(providers []Provider, seed int64) (*Sim, error) {
+	if len(providers) == 0 {
+		return nil, fmt.Errorf("cloudsim: no providers")
+	}
+	s := &Sim{
+		providers: make(map[string]*Provider, len(providers)),
+		inUse:     make(map[string]int, len(providers)),
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+	for i := range providers {
+		p := providers[i]
+		if _, dup := s.providers[p.Name]; dup {
+			return nil, fmt.Errorf("cloudsim: duplicate provider %q", p.Name)
+		}
+		if p.Capacity <= 0 || len(p.Flavors) == 0 {
+			return nil, fmt.Errorf("cloudsim: provider %q has no capacity or flavors", p.Name)
+		}
+		s.providers[p.Name] = &p
+		s.order = append(s.order, p.Name)
+	}
+	sort.Strings(s.order)
+	return s, nil
+}
+
+// Cluster is a provisioned node group.
+type Cluster struct {
+	// ID identifies the cluster.
+	ID string
+	// Provider and Flavor describe what was provisioned.
+	Provider string
+	Flavor   Flavor
+	// Nodes is the node count.
+	Nodes int
+	// BootTime is the simulated time until the slowest node was ready
+	// (ad-hoc clusters are usable only when complete).
+	BootTime time.Duration
+	// Academic mirrors the provider's billing model.
+	Academic bool
+
+	released bool
+	sim      *Sim
+}
+
+// Provision acquires n nodes of the named flavor from one provider.
+func (s *Sim) Provision(provider, flavor string, n int) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cloudsim: node count %d", n)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.providers[provider]
+	if !ok {
+		return nil, fmt.Errorf("cloudsim: unknown provider %q", provider)
+	}
+	f, err := p.Flavor(flavor)
+	if err != nil {
+		return nil, err
+	}
+	if s.inUse[provider]+n > p.Capacity {
+		return nil, fmt.Errorf("cloudsim: provider %s has %d of %d nodes free; requested %d",
+			provider, p.Capacity-s.inUse[provider], p.Capacity, n)
+	}
+	s.inUse[provider] += n
+	// Cluster readiness = slowest node boot.
+	var slowest time.Duration
+	for i := 0; i < n; i++ {
+		boot := p.BootMean
+		if p.BootJitter > 0 {
+			boot += time.Duration(s.rng.Int63n(int64(p.BootJitter)))
+		}
+		if boot > slowest {
+			slowest = boot
+		}
+	}
+	s.nextID++
+	return &Cluster{
+		ID:       fmt.Sprintf("%s-%04d", provider, s.nextID),
+		Provider: provider,
+		Flavor:   f,
+		Nodes:    n,
+		BootTime: slowest,
+		Academic: p.Academic,
+		sim:      s,
+	}, nil
+}
+
+// Release returns the cluster's nodes to the provider. Releasing twice is
+// an error.
+func (s *Sim) Release(c *Cluster) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.released {
+		return fmt.Errorf("cloudsim: cluster %s already released", c.ID)
+	}
+	c.released = true
+	s.inUse[c.Provider] -= c.Nodes
+	return nil
+}
+
+// Available returns how many nodes a provider can still provision.
+func (s *Sim) Available(provider string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.providers[provider]
+	if !ok {
+		return 0, fmt.Errorf("cloudsim: unknown provider %q", provider)
+	}
+	return p.Capacity - s.inUse[provider], nil
+}
+
+// Task is one unit of a bundle: Work is its single-core compute demand in
+// core-hours.
+type Task struct {
+	// ID labels the task.
+	ID string
+	// Work is the task's demand in core-hours.
+	Work float64
+}
+
+// RunReport summarises a bundle execution on a cluster.
+type RunReport struct {
+	// Cluster identifies where the bundle ran.
+	Cluster string
+	// Tasks is the bundle size.
+	Tasks int
+	// Slots is the parallel capacity used (nodes × vcpus).
+	Slots int
+	// Makespan is the simulated execution span (excluding boot).
+	Makespan time.Duration
+	// Elapsed includes cluster boot.
+	Elapsed time.Duration
+	// CostUSD is the accrued commercial cost (0 on academic clouds).
+	CostUSD float64
+}
+
+// Run schedules the bundle over the cluster's slots with the greedy
+// longest-processing-time heuristic and returns the simulated outcome.
+func (c *Cluster) Run(tasks []Task) (RunReport, error) {
+	if c.released {
+		return RunReport{}, fmt.Errorf("cloudsim: cluster %s was released", c.ID)
+	}
+	if len(tasks) == 0 {
+		return RunReport{}, fmt.Errorf("cloudsim: empty task bundle")
+	}
+	for _, t := range tasks {
+		if t.Work < 0 {
+			return RunReport{}, fmt.Errorf("cloudsim: task %s has negative work", t.ID)
+		}
+	}
+	slots := c.Nodes * c.Flavor.VCPUs
+	loads := make([]float64, slots)
+	sorted := append([]Task(nil), tasks...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Work > sorted[j].Work })
+	for _, t := range sorted {
+		// Assign to the least-loaded slot.
+		best := 0
+		for s := 1; s < slots; s++ {
+			if loads[s] < loads[best] {
+				best = s
+			}
+		}
+		loads[best] += t.Work
+	}
+	var makespanHours float64
+	for _, l := range loads {
+		if l > makespanHours {
+			makespanHours = l
+		}
+	}
+	makespan := time.Duration(makespanHours * float64(time.Hour))
+	elapsed := c.BootTime + makespan
+	cost := 0.0
+	if !c.Academic {
+		cost = elapsed.Hours() * c.Flavor.PricePerHour * float64(c.Nodes)
+	}
+	return RunReport{
+		Cluster:  c.ID,
+		Tasks:    len(tasks),
+		Slots:    slots,
+		Makespan: makespan,
+		Elapsed:  elapsed,
+		CostUSD:  cost,
+	}, nil
+}
+
+// Policy selects how AcquireBundle picks providers.
+type Policy int
+
+// Acquisition policies.
+const (
+	// Cheapest prefers academic (free) capacity, then the cheapest
+	// commercial flavor.
+	Cheapest Policy = iota
+	// Fastest prefers the providers with the lowest mean boot time.
+	Fastest
+)
+
+// AcquireBundle provisions a total of n nodes across providers according
+// to the policy, spilling over when one provider's capacity runs out —
+// the ad-hoc multi-cloud acquisition NSDF-Cloud automates. Each returned
+// cluster uses the provider's first (Cheapest) or largest-vCPU (Fastest)
+// flavor.
+func (s *Sim) AcquireBundle(n int, policy Policy) ([]*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cloudsim: node count %d", n)
+	}
+	type cand struct {
+		name   string
+		flavor string
+		key    float64
+	}
+	var cands []cand
+	s.mu.Lock()
+	for _, name := range s.order {
+		p := s.providers[name]
+		switch policy {
+		case Cheapest:
+			// Academic first (key 0), then by price.
+			f := p.Flavors[0]
+			key := f.PricePerHour
+			if p.Academic {
+				key = 0
+			}
+			cands = append(cands, cand{name: name, flavor: f.Name, key: key})
+		case Fastest:
+			// Largest flavor, ordered by boot time.
+			best := p.Flavors[0]
+			for _, f := range p.Flavors[1:] {
+				if f.VCPUs > best.VCPUs {
+					best = f
+				}
+			}
+			cands = append(cands, cand{name: name, flavor: best.Name, key: p.BootMean.Seconds()})
+		default:
+			s.mu.Unlock()
+			return nil, fmt.Errorf("cloudsim: unknown policy %d", policy)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].key != cands[j].key {
+			return cands[i].key < cands[j].key
+		}
+		return cands[i].name < cands[j].name
+	})
+
+	var out []*Cluster
+	remaining := n
+	for _, c := range cands {
+		if remaining == 0 {
+			break
+		}
+		free, err := s.Available(c.name)
+		if err != nil {
+			return nil, err
+		}
+		if free == 0 {
+			continue
+		}
+		take := remaining
+		if take > free {
+			take = free
+		}
+		cluster, err := s.Provision(c.name, c.flavor, take)
+		if err != nil {
+			// Roll back partial acquisitions.
+			for _, done := range out {
+				s.Release(done)
+			}
+			return nil, err
+		}
+		out = append(out, cluster)
+		remaining -= take
+	}
+	if remaining > 0 {
+		for _, done := range out {
+			s.Release(done)
+		}
+		return nil, fmt.Errorf("cloudsim: only %d of %d nodes available across providers", n-remaining, n)
+	}
+	return out, nil
+}

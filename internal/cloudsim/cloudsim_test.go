@@ -1,0 +1,338 @@
+package cloudsim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newSim(t *testing.T) *Sim {
+	t.Helper()
+	s, err := NewSim(DefaultProviders(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDefaultProviders(t *testing.T) {
+	ps := DefaultProviders()
+	if len(ps) != 4 {
+		t.Fatalf("%d providers, want 4 (NSDF-Cloud targets)", len(ps))
+	}
+	academic, commercial := 0, 0
+	for _, p := range ps {
+		if p.Academic {
+			academic++
+		} else {
+			commercial++
+		}
+		if p.Capacity <= 0 || len(p.Flavors) == 0 {
+			t.Errorf("%s: empty", p.Name)
+		}
+	}
+	if academic != 3 || commercial != 1 {
+		t.Errorf("academic=%d commercial=%d", academic, commercial)
+	}
+}
+
+func TestNewSimValidation(t *testing.T) {
+	if _, err := NewSim(nil, 1); err == nil {
+		t.Error("no providers accepted")
+	}
+	dup := []Provider{
+		{Name: "x", Capacity: 1, Flavors: []Flavor{{Name: "f", VCPUs: 1}}},
+		{Name: "x", Capacity: 1, Flavors: []Flavor{{Name: "f", VCPUs: 1}}},
+	}
+	if _, err := NewSim(dup, 1); err == nil {
+		t.Error("duplicate providers accepted")
+	}
+	if _, err := NewSim([]Provider{{Name: "x", Capacity: 0}}, 1); err == nil {
+		t.Error("zero-capacity provider accepted")
+	}
+}
+
+func TestProvisionAndRelease(t *testing.T) {
+	s := newSim(t)
+	c, err := s.Provision("jetstream", "m1.large", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Nodes != 4 || c.Flavor.VCPUs != 10 || !c.Academic {
+		t.Errorf("cluster %+v", c)
+	}
+	if c.BootTime < 95*time.Second || c.BootTime > 135*time.Second {
+		t.Errorf("boot time %v outside jetstream envelope", c.BootTime)
+	}
+	free, _ := s.Available("jetstream")
+	if free != 28 {
+		t.Errorf("available = %d, want 28", free)
+	}
+	if err := s.Release(c); err != nil {
+		t.Fatal(err)
+	}
+	free, _ = s.Available("jetstream")
+	if free != 32 {
+		t.Errorf("available after release = %d", free)
+	}
+	if err := s.Release(c); err == nil {
+		t.Error("double release accepted")
+	}
+}
+
+func TestProvisionValidation(t *testing.T) {
+	s := newSim(t)
+	if _, err := s.Provision("nimbus", "x", 1); err == nil {
+		t.Error("unknown provider accepted")
+	}
+	if _, err := s.Provision("aws", "t2.nano", 1); err == nil {
+		t.Error("unknown flavor accepted")
+	}
+	if _, err := s.Provision("aws", "c5.2xlarge", 0); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := s.Provision("chameleon", "compute.haswell", 13); err == nil {
+		t.Error("over-capacity request accepted")
+	}
+}
+
+func TestCapacityEnforcedAcrossClusters(t *testing.T) {
+	s := newSim(t)
+	if _, err := s.Provision("chameleon", "compute.haswell", 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Provision("chameleon", "compute.haswell", 8); err == nil {
+		t.Error("second allocation exceeded capacity")
+	}
+	if _, err := s.Provision("chameleon", "compute.haswell", 4); err != nil {
+		t.Errorf("within-capacity allocation rejected: %v", err)
+	}
+}
+
+func TestBootDeterministicBySeed(t *testing.T) {
+	s1, _ := NewSim(DefaultProviders(), 7)
+	s2, _ := NewSim(DefaultProviders(), 7)
+	c1, _ := s1.Provision("aws", "c5.2xlarge", 3)
+	c2, _ := s2.Provision("aws", "c5.2xlarge", 3)
+	if c1.BootTime != c2.BootTime {
+		t.Errorf("same seed boot times differ: %v vs %v", c1.BootTime, c2.BootTime)
+	}
+}
+
+func TestRunBundle(t *testing.T) {
+	s := newSim(t)
+	c, err := s.Provision("aws", "c5.2xlarge", 2) // 16 slots
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := make([]Task, 32)
+	for i := range tasks {
+		tasks[i] = Task{ID: fmt.Sprintf("t%d", i), Work: 0.5} // 16 core-hours total
+	}
+	rep, err := c.Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Slots != 16 || rep.Tasks != 32 {
+		t.Errorf("report %+v", rep)
+	}
+	// 32 equal tasks over 16 slots: exactly 2 rounds of 0.5h = 1h makespan.
+	if rep.Makespan != time.Hour {
+		t.Errorf("makespan = %v, want 1h", rep.Makespan)
+	}
+	// Commercial cost: elapsed ≈ 1h + boot, 2 nodes at $0.34/h.
+	wantMin := 1.0 * 0.34 * 2
+	if rep.CostUSD < wantMin || rep.CostUSD > wantMin*1.1 {
+		t.Errorf("cost = %v, want ~%v", rep.CostUSD, wantMin)
+	}
+}
+
+func TestRunOnAcademicIsFree(t *testing.T) {
+	s := newSim(t)
+	c, _ := s.Provision("cloudlab", "c6525-25g", 2)
+	rep, err := c.Run([]Task{{ID: "t", Work: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CostUSD != 0 {
+		t.Errorf("academic cost = %v", rep.CostUSD)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	s := newSim(t)
+	c, _ := s.Provision("aws", "c5.2xlarge", 1)
+	if _, err := c.Run(nil); err == nil {
+		t.Error("empty bundle accepted")
+	}
+	if _, err := c.Run([]Task{{Work: -1}}); err == nil {
+		t.Error("negative work accepted")
+	}
+	s.Release(c)
+	if _, err := c.Run([]Task{{Work: 1}}); err == nil {
+		t.Error("run on released cluster accepted")
+	}
+}
+
+func TestLPTMakespanNeverBelowBounds(t *testing.T) {
+	// Property: makespan >= total/slots and >= max task; LPT guarantees
+	// <= (4/3) * optimal, so also <= total/slots + max task.
+	s := newSim(t)
+	c, _ := s.Provision("aws", "c5.4xlarge", 1) // 16 slots
+	f := func(seed int64) bool {
+		rng := newRand(seed)
+		n := rng.Intn(40) + 1
+		tasks := make([]Task, n)
+		total := 0.0
+		maxW := 0.0
+		for i := range tasks {
+			w := rng.Float64() * 2
+			tasks[i] = Task{ID: fmt.Sprintf("t%d", i), Work: w}
+			total += w
+			if w > maxW {
+				maxW = w
+			}
+		}
+		rep, err := c.Run(tasks)
+		if err != nil {
+			return false
+		}
+		hours := rep.Makespan.Hours()
+		lower := total / float64(rep.Slots)
+		if hours < lower-1e-9 || hours < maxW-1e-9 {
+			return false
+		}
+		return hours <= lower+maxW+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoreNodesShrinkMakespan(t *testing.T) {
+	s := newSim(t)
+	tasks := make([]Task, 64)
+	for i := range tasks {
+		tasks[i] = Task{ID: fmt.Sprintf("t%d", i), Work: 0.25}
+	}
+	small, _ := s.Provision("aws", "c5.2xlarge", 1)
+	big, _ := s.Provision("aws", "c5.2xlarge", 4)
+	repS, _ := small.Run(tasks)
+	repB, _ := big.Run(tasks)
+	if repB.Makespan >= repS.Makespan {
+		t.Errorf("4 nodes (%v) not faster than 1 (%v)", repB.Makespan, repS.Makespan)
+	}
+}
+
+func TestAcquireBundleCheapestPrefersAcademic(t *testing.T) {
+	s := newSim(t)
+	clusters, err := s.AcquireBundle(20, Cheapest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range clusters {
+		total += c.Nodes
+		if !c.Academic {
+			t.Errorf("cheapest policy provisioned commercial %s while academic capacity remained", c.Provider)
+		}
+	}
+	if total != 20 {
+		t.Errorf("acquired %d nodes", total)
+	}
+}
+
+func TestAcquireBundleSpillsToCommercial(t *testing.T) {
+	s := newSim(t)
+	// Academic total capacity = 32+12+16 = 60; ask for 70.
+	clusters, err := s.AcquireBundle(70, Cheapest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawCommercial := false
+	total := 0
+	for _, c := range clusters {
+		total += c.Nodes
+		if !c.Academic {
+			sawCommercial = true
+		}
+	}
+	if total != 70 || !sawCommercial {
+		t.Errorf("total=%d commercial=%v", total, sawCommercial)
+	}
+}
+
+func TestAcquireBundleFastestPrefersQuickBoot(t *testing.T) {
+	s := newSim(t)
+	clusters, err := s.AcquireBundle(10, Fastest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clusters[0].Provider != "aws" {
+		t.Errorf("fastest policy started with %s; aws boots quickest", clusters[0].Provider)
+	}
+}
+
+func TestAcquireBundleTooLargeRollsBack(t *testing.T) {
+	s := newSim(t)
+	if _, err := s.AcquireBundle(1000, Cheapest); err == nil {
+		t.Fatal("impossible acquisition succeeded")
+	}
+	// All capacity must have been rolled back.
+	for _, p := range []string{"jetstream", "chameleon", "cloudlab", "aws"} {
+		free, _ := s.Available(p)
+		var capacity int
+		for _, dp := range DefaultProviders() {
+			if dp.Name == p {
+				capacity = dp.Capacity
+			}
+		}
+		if free != capacity {
+			t.Errorf("%s: %d of %d free after rollback", p, free, capacity)
+		}
+	}
+}
+
+// newRand isolates the rand import for the property test.
+func newRand(seed int64) *randSource {
+	return &randSource{state: uint64(seed)*2862933555777941757 + 3037000493}
+}
+
+type randSource struct{ state uint64 }
+
+func (r *randSource) next() uint64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return r.state
+}
+
+func (r *randSource) Intn(n int) int { return int(r.next()>>33) % n }
+
+func (r *randSource) Float64() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+func BenchmarkProvisionRelease(b *testing.B) {
+	s, _ := NewSim(DefaultProviders(), 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, err := s.Provision("aws", "c5.2xlarge", 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Release(c)
+	}
+}
+
+func BenchmarkRunBundle1000(b *testing.B) {
+	s, _ := NewSim(DefaultProviders(), 1)
+	c, _ := s.Provision("aws", "c5.4xlarge", 8)
+	tasks := make([]Task, 1000)
+	for i := range tasks {
+		tasks[i] = Task{ID: fmt.Sprintf("t%d", i), Work: float64(i%7) * 0.1}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Run(tasks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

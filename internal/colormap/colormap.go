@@ -1,0 +1,177 @@
+// Package colormap provides the color palettes offered by the NSDF
+// dashboard ("users can select from various color palettes, improving the
+// interpretability of complex datasets") together with manual and dynamic
+// range mapping of scalar fields to colors.
+package colormap
+
+import (
+	"fmt"
+	"image/color"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Map converts a normalized scalar t in [0,1] to an opaque RGBA color.
+type Map interface {
+	// Name returns the palette's identifier, as shown in the dashboard
+	// dropdown.
+	Name() string
+	// At returns the color for normalized position t; t is clamped to [0,1].
+	At(t float64) color.RGBA
+}
+
+// Range maps raw field values to the normalized [0,1] domain of a Map.
+// The dashboard supports manual ranges and dynamic (data-driven) ranges.
+type Range struct {
+	// Min and Max bound the mapped interval. Values outside are clamped.
+	Min, Max float64
+}
+
+// Normalize maps v into [0,1] under the range. A degenerate range maps
+// everything to 0.5. NaN maps to NaN (callers render it transparent).
+func (r Range) Normalize(v float64) float64 {
+	if math.IsNaN(v) {
+		return math.NaN()
+	}
+	if r.Max <= r.Min {
+		return 0.5
+	}
+	t := (v - r.Min) / (r.Max - r.Min)
+	if t < 0 {
+		return 0
+	}
+	if t > 1 {
+		return 1
+	}
+	return t
+}
+
+// DynamicRange computes a Range from the finite values of a field,
+// implementing the dashboard's "set dynamically" colormap option.
+func DynamicRange(values []float32) Range {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue
+		}
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	if lo > hi { // no finite values
+		return Range{0, 1}
+	}
+	return Range{lo, hi}
+}
+
+// stops is a piecewise-linear palette defined by sorted control points.
+type stops struct {
+	name string
+	pos  []float64
+	cols []color.RGBA
+}
+
+func (s *stops) Name() string { return s.name }
+
+func (s *stops) At(t float64) color.RGBA {
+	if math.IsNaN(t) {
+		return color.RGBA{0, 0, 0, 0}
+	}
+	if t <= s.pos[0] {
+		return s.cols[0]
+	}
+	last := len(s.pos) - 1
+	if t >= s.pos[last] {
+		return s.cols[last]
+	}
+	i := sort.SearchFloat64s(s.pos, t)
+	// s.pos[i-1] < t <= s.pos[i]
+	a, b := s.cols[i-1], s.cols[i]
+	f := (t - s.pos[i-1]) / (s.pos[i] - s.pos[i-1])
+	lerp := func(x, y uint8) uint8 {
+		return uint8(math.Round(float64(x) + f*(float64(y)-float64(x))))
+	}
+	return color.RGBA{lerp(a.R, b.R), lerp(a.G, b.G), lerp(a.B, b.B), 255}
+}
+
+func evenStops(name string, cols []color.RGBA) *stops {
+	pos := make([]float64, len(cols))
+	for i := range pos {
+		pos[i] = float64(i) / float64(len(cols)-1)
+	}
+	return &stops{name: name, pos: pos, cols: cols}
+}
+
+var (
+	palettesMu sync.RWMutex
+	palettes   = map[string]Map{}
+)
+
+// Register adds a palette to the global registry. Duplicate names panic.
+func Register(m Map) {
+	palettesMu.Lock()
+	defer palettesMu.Unlock()
+	if _, dup := palettes[m.Name()]; dup {
+		panic(fmt.Sprintf("colormap: palette %q registered twice", m.Name()))
+	}
+	palettes[m.Name()] = m
+}
+
+// Lookup returns the palette registered under name.
+func Lookup(name string) (Map, error) {
+	palettesMu.RLock()
+	defer palettesMu.RUnlock()
+	m, ok := palettes[name]
+	if !ok {
+		return nil, fmt.Errorf("colormap: unknown palette %q", name)
+	}
+	return m, nil
+}
+
+// Names returns the sorted names of all registered palettes.
+func Names() []string {
+	palettesMu.RLock()
+	defer palettesMu.RUnlock()
+	out := make([]string, 0, len(palettes))
+	for n := range palettes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	// Viridis: perceptually uniform, the default scientific palette.
+	Register(evenStops("viridis", []color.RGBA{
+		{68, 1, 84, 255}, {72, 40, 120, 255}, {62, 74, 137, 255},
+		{49, 104, 142, 255}, {38, 130, 142, 255}, {31, 158, 137, 255},
+		{53, 183, 121, 255}, {109, 205, 89, 255}, {180, 222, 44, 255},
+		{253, 231, 37, 255},
+	}))
+	// Terrain: hypsometric tints for elevation rasters.
+	Register(evenStops("terrain", []color.RGBA{
+		{40, 94, 168, 255}, {51, 153, 102, 255}, {134, 184, 93, 255},
+		{222, 214, 137, 255}, {178, 132, 84, 255}, {140, 100, 80, 255},
+		{220, 220, 220, 255}, {255, 255, 255, 255},
+	}))
+	// Gray: neutral ramp for hillshade.
+	Register(evenStops("gray", []color.RGBA{
+		{0, 0, 0, 255}, {255, 255, 255, 255},
+	}))
+	// Plasma-like warm ramp.
+	Register(evenStops("plasma", []color.RGBA{
+		{13, 8, 135, 255}, {84, 2, 163, 255}, {139, 10, 165, 255},
+		{185, 50, 137, 255}, {219, 92, 104, 255}, {244, 136, 73, 255},
+		{254, 188, 43, 255}, {240, 249, 33, 255},
+	}))
+	// Moisture: dry-to-wet ramp for SOMOSPIE soil moisture maps.
+	Register(evenStops("moisture", []color.RGBA{
+		{165, 42, 42, 255}, {222, 184, 135, 255}, {240, 230, 140, 255},
+		{144, 238, 144, 255}, {64, 164, 223, 255}, {8, 48, 107, 255},
+	}))
+}

@@ -1,0 +1,152 @@
+package colormap
+
+import (
+	"image/color"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNamesContainsBuiltins(t *testing.T) {
+	names := Names()
+	want := []string{"gray", "moisture", "plasma", "terrain", "viridis"}
+	for _, w := range want {
+		found := false
+		for _, n := range names {
+			if n == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Names() = %v missing %q", names, w)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	m, err := Lookup("viridis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "viridis" {
+		t.Errorf("Name() = %q", m.Name())
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("unknown palette lookup succeeded")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	m, _ := Lookup("gray")
+	Register(m)
+}
+
+func TestAtEndpoints(t *testing.T) {
+	g, _ := Lookup("gray")
+	if c := g.At(0); c != (color.RGBA{0, 0, 0, 255}) {
+		t.Errorf("gray.At(0) = %v", c)
+	}
+	if c := g.At(1); c != (color.RGBA{255, 255, 255, 255}) {
+		t.Errorf("gray.At(1) = %v", c)
+	}
+	if c := g.At(0.5); c.R < 126 || c.R > 129 {
+		t.Errorf("gray.At(0.5).R = %d, want ~127", c.R)
+	}
+}
+
+func TestAtClamps(t *testing.T) {
+	v, _ := Lookup("viridis")
+	if v.At(-3) != v.At(0) {
+		t.Error("At(-3) != At(0)")
+	}
+	if v.At(42) != v.At(1) {
+		t.Error("At(42) != At(1)")
+	}
+}
+
+func TestAtNaNTransparent(t *testing.T) {
+	v, _ := Lookup("terrain")
+	if c := v.At(math.NaN()); c.A != 0 {
+		t.Errorf("At(NaN) alpha = %d, want 0", c.A)
+	}
+}
+
+func TestAtMonotoneGray(t *testing.T) {
+	g, _ := Lookup("gray")
+	prev := -1
+	for i := 0; i <= 100; i++ {
+		c := g.At(float64(i) / 100)
+		if int(c.R) < prev {
+			t.Fatalf("gray ramp not monotone at %d", i)
+		}
+		prev = int(c.R)
+	}
+}
+
+func TestAtAlwaysOpaqueForFiniteProperty(t *testing.T) {
+	for _, name := range Names() {
+		m, _ := Lookup(name)
+		f := func(t01 float64) bool {
+			if math.IsNaN(t01) || math.IsInf(t01, 0) {
+				return true
+			}
+			return m.At(t01).A == 255
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRangeNormalize(t *testing.T) {
+	r := Range{10, 20}
+	cases := []struct{ in, want float64 }{
+		{10, 0}, {20, 1}, {15, 0.5}, {5, 0}, {25, 1},
+	}
+	for _, c := range cases {
+		if got := r.Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if !math.IsNaN(r.Normalize(math.NaN())) {
+		t.Error("Normalize(NaN) should be NaN")
+	}
+}
+
+func TestRangeDegenerate(t *testing.T) {
+	r := Range{5, 5}
+	if got := r.Normalize(5); got != 0.5 {
+		t.Errorf("degenerate Normalize = %v, want 0.5", got)
+	}
+	r = Range{10, 2}
+	if got := r.Normalize(6); got != 0.5 {
+		t.Errorf("inverted Normalize = %v, want 0.5", got)
+	}
+}
+
+func TestDynamicRange(t *testing.T) {
+	r := DynamicRange([]float32{3, float32(math.NaN()), -2, 7, float32(math.Inf(1))})
+	if r.Min != -2 || r.Max != 7 {
+		t.Errorf("DynamicRange = %+v, want {-2 7}", r)
+	}
+}
+
+func TestDynamicRangeNoFinite(t *testing.T) {
+	r := DynamicRange([]float32{float32(math.NaN())})
+	if r.Min != 0 || r.Max != 1 {
+		t.Errorf("DynamicRange with no finite values = %+v, want {0 1}", r)
+	}
+}
+
+func BenchmarkViridisAt(b *testing.B) {
+	v, _ := Lookup("viridis")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = v.At(float64(i%1000) / 1000)
+	}
+}

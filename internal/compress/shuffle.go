@@ -1,0 +1,86 @@
+package compress
+
+import (
+	"fmt"
+)
+
+// ShuffleZlib is DEFLATE preceded by a byte-shuffle (byte transposition)
+// filter: for fixed-size elements, byte 0 of every element is stored
+// first, then byte 1 of every element, and so on. On smooth scientific
+// fields the high-order bytes of neighbouring samples are nearly
+// constant, so grouping them massively improves DEFLATE's ratio. This is
+// the same filter HDF5 and IDX-class formats apply to floating-point
+// blocks, and it is what makes the tutorial's "TIFF→IDX reduces size by
+// ~20%" behaviour reproducible: baseline TIFF applies DEFLATE to raw
+// sample bytes, while IDX blocks shuffle first.
+type ShuffleZlib struct {
+	// ElemSize is the element width in bytes (2, 4, or 8).
+	ElemSize int
+}
+
+// Name implements Codec.
+func (s ShuffleZlib) Name() string { return fmt.Sprintf("shuffle%d-zlib", s.ElemSize) }
+
+func (s ShuffleZlib) validate() error {
+	switch s.ElemSize {
+	case 2, 4, 8:
+		return nil
+	}
+	return fmt.Errorf("compress: shuffle element size %d; must be 2, 4, or 8", s.ElemSize)
+}
+
+// Encode implements Codec.
+func (s ShuffleZlib) Encode(src []byte) ([]byte, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return Zlib{}.Encode(Shuffle(src, s.ElemSize))
+}
+
+// Decode implements Codec.
+func (s ShuffleZlib) Decode(src []byte, dstSize int) ([]byte, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	shuffled, err := (Zlib{}).Decode(src, dstSize)
+	if err != nil {
+		return nil, err
+	}
+	return Unshuffle(shuffled, s.ElemSize), nil
+}
+
+// Shuffle transposes src (a sequence of elemSize-byte elements) into
+// byte-plane order. A trailing fragment shorter than one element is
+// appended unshuffled, so any payload length is accepted.
+func Shuffle(src []byte, elemSize int) []byte {
+	n := len(src) / elemSize
+	out := make([]byte, len(src))
+	for b := 0; b < elemSize; b++ {
+		plane := out[b*n : (b+1)*n]
+		for i := 0; i < n; i++ {
+			plane[i] = src[i*elemSize+b]
+		}
+	}
+	copy(out[n*elemSize:], src[n*elemSize:])
+	return out
+}
+
+// Unshuffle inverts Shuffle.
+func Unshuffle(src []byte, elemSize int) []byte {
+	n := len(src) / elemSize
+	out := make([]byte, len(src))
+	for b := 0; b < elemSize; b++ {
+		plane := src[b*n : (b+1)*n]
+		for i := 0; i < n; i++ {
+			out[i*elemSize+b] = plane[i]
+		}
+	}
+	copy(out[n*elemSize:], src[n*elemSize:])
+	return out
+}
+
+func init() {
+	Register(ShuffleZlib{ElemSize: 2})
+	Register(ShuffleZlib{ElemSize: 4})
+	Register(ShuffleZlib{ElemSize: 8})
+}

@@ -1,0 +1,245 @@
+package compress
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ZFPLike is a lossy floating-point codec with a guaranteed absolute error
+// bound, standing in for ZFP's fixed-accuracy mode among the codecs the
+// IDX format supports.
+//
+// Values are uniformly quantized with step = Tolerance (so the
+// reconstruction error is at most Tolerance/2), delta-coded to exploit the
+// smoothness of scientific fields, zigzag/varint packed, and finally
+// DEFLATE-compressed. Non-finite values (NaN, ±Inf) are preserved exactly
+// through an exception list.
+//
+// A Tolerance of 0 selects a lossless path (raw bits + DEFLATE).
+type ZFPLike struct {
+	// Tolerance is the maximum permitted absolute reconstruction error.
+	// Must be >= 0; 0 means lossless.
+	Tolerance float64
+}
+
+const (
+	zfpMagic    = "ZFPG"
+	zfpVersion  = 1
+	zfpLossless = 1 << 0
+)
+
+// EncodeFloat32 compresses values under the codec's error bound.
+func (z ZFPLike) EncodeFloat32(values []float32) ([]byte, error) {
+	if z.Tolerance < 0 {
+		return nil, fmt.Errorf("compress: zfp: negative tolerance %g", z.Tolerance)
+	}
+	var header bytes.Buffer
+	header.WriteString(zfpMagic)
+	header.WriteByte(zfpVersion)
+	flags := byte(0)
+	if z.Tolerance == 0 {
+		flags |= zfpLossless
+	}
+	header.WriteByte(flags)
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], math.Float64bits(z.Tolerance))
+	header.Write(b8[:])
+	binary.LittleEndian.PutUint64(b8[:], uint64(len(values)))
+	header.Write(b8[:])
+
+	var payload bytes.Buffer
+	if z.Tolerance == 0 {
+		raw := make([]byte, 4*len(values))
+		for i, v := range values {
+			binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
+		}
+		payload.Write(raw)
+	} else {
+		step := z.Tolerance
+		var exceptions []int
+		var varint [binary.MaxVarintLen64]byte
+		prev := int64(0)
+		for i, v := range values {
+			f := float64(v)
+			var q int64
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				exceptions = append(exceptions, i)
+				q = 0
+			} else {
+				q = int64(math.RoundToEven(f / step))
+			}
+			n := binary.PutVarint(varint[:], q-prev)
+			payload.Write(varint[:n])
+			prev = q
+		}
+		// Exception list: count, then (index delta varint, raw float bits).
+		n := binary.PutUvarint(varint[:], uint64(len(exceptions)))
+		payload.Write(varint[:n])
+		prevIdx := 0
+		for _, idx := range exceptions {
+			n := binary.PutUvarint(varint[:], uint64(idx-prevIdx))
+			payload.Write(varint[:n])
+			var b4 [4]byte
+			binary.LittleEndian.PutUint32(b4[:], math.Float32bits(values[idx]))
+			payload.Write(b4[:])
+			prevIdx = idx
+		}
+	}
+
+	var out bytes.Buffer
+	out.Write(header.Bytes())
+	fw, err := flate.NewWriter(&out, flate.DefaultCompression)
+	if err != nil {
+		return nil, fmt.Errorf("compress: zfp: %w", err)
+	}
+	if _, err := fw.Write(payload.Bytes()); err != nil {
+		return nil, fmt.Errorf("compress: zfp: %w", err)
+	}
+	if err := fw.Close(); err != nil {
+		return nil, fmt.Errorf("compress: zfp: %w", err)
+	}
+	return out.Bytes(), nil
+}
+
+// DecodeFloat32 reverses EncodeFloat32. The returned slice has the length
+// recorded at encode time.
+func (ZFPLike) DecodeFloat32(src []byte) ([]float32, error) {
+	const headerLen = 4 + 1 + 1 + 8 + 8
+	if len(src) < headerLen {
+		return nil, fmt.Errorf("compress: zfp: payload of %d bytes is shorter than header", len(src))
+	}
+	if string(src[:4]) != zfpMagic {
+		return nil, fmt.Errorf("compress: zfp: bad magic %q", src[:4])
+	}
+	if src[4] != zfpVersion {
+		return nil, fmt.Errorf("compress: zfp: unsupported version %d", src[4])
+	}
+	flags := src[5]
+	tol := math.Float64frombits(binary.LittleEndian.Uint64(src[6:14]))
+	count := binary.LittleEndian.Uint64(src[14:22])
+	if count > 1<<40 {
+		return nil, fmt.Errorf("compress: zfp: implausible element count %d", count)
+	}
+
+	fr := flate.NewReader(bytes.NewReader(src[headerLen:]))
+	defer fr.Close()
+	payload, err := io.ReadAll(fr)
+	if err != nil {
+		return nil, fmt.Errorf("compress: zfp: %w", err)
+	}
+
+	values := make([]float32, count)
+	if flags&zfpLossless != 0 {
+		if len(payload) != 4*int(count) {
+			return nil, fmt.Errorf("compress: zfp: lossless payload is %d bytes, expected %d", len(payload), 4*count)
+		}
+		for i := range values {
+			values[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:]))
+		}
+		return values, nil
+	}
+
+	r := bytes.NewReader(payload)
+	prev := int64(0)
+	for i := range values {
+		d, err := binary.ReadVarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("compress: zfp: quantized stream truncated at element %d: %w", i, err)
+		}
+		prev += d
+		values[i] = float32(float64(prev) * tol)
+	}
+	nexc, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("compress: zfp: exception count: %w", err)
+	}
+	idx := 0
+	for k := uint64(0); k < nexc; k++ {
+		d, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("compress: zfp: exception index: %w", err)
+		}
+		idx += int(d)
+		if idx < 0 || idx >= len(values) {
+			return nil, fmt.Errorf("compress: zfp: exception index %d out of range", idx)
+		}
+		var b4 [4]byte
+		if _, err := io.ReadFull(r, b4[:]); err != nil {
+			return nil, fmt.Errorf("compress: zfp: exception bits: %w", err)
+		}
+		values[idx] = math.Float32frombits(binary.LittleEndian.Uint32(b4[:]))
+	}
+	return values, nil
+}
+
+// Name returns the codec registry identifier for this tolerance, e.g.
+// "zfp-0.001". Registered instances (see init) expose the lossy codec to
+// IDX field descriptors for float32 fields.
+func (z ZFPLike) Name() string {
+	if z.Tolerance == 0 {
+		return "zfp-lossless"
+	}
+	return fmt.Sprintf("zfp-%g", z.Tolerance)
+}
+
+// Encode implements Codec for float32 little-endian payloads: the byte
+// slice is reinterpreted as float32 samples, compressed under the error
+// bound, and framed. Payloads whose length is not a multiple of 4 are
+// rejected — this codec is only valid for float32 fields.
+func (z ZFPLike) Encode(src []byte) ([]byte, error) {
+	if len(src)%4 != 0 {
+		return nil, fmt.Errorf("compress: zfp: payload of %d bytes is not float32-aligned", len(src))
+	}
+	values := make([]float32, len(src)/4)
+	for i := range values {
+		values[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+	}
+	return z.EncodeFloat32(values)
+}
+
+// Decode implements Codec.
+func (z ZFPLike) Decode(src []byte, dstSize int) ([]byte, error) {
+	values, err := z.DecodeFloat32(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 4*len(values))
+	for i, v := range values {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
+	}
+	if dstSize >= 0 && len(out) != dstSize {
+		return nil, fmt.Errorf("compress: zfp payload decoded to %d bytes, expected %d", len(out), dstSize)
+	}
+	return out, nil
+}
+
+func init() {
+	// Lossy block codecs for float32 IDX fields, by absolute tolerance.
+	Register(ZFPLike{Tolerance: 1e-3})
+	Register(ZFPLike{Tolerance: 1e-2})
+	Register(ZFPLike{Tolerance: 1e-1})
+	Register(ZFPLike{Tolerance: 1})
+}
+
+// MaxAbsError returns the largest absolute difference between a and b,
+// ignoring pairs where both are NaN. It is the quantity ZFPLike bounds.
+func MaxAbsError(a, b []float32) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	maxErr := 0.0
+	for i := range a {
+		fa, fb := float64(a[i]), float64(b[i])
+		if math.IsNaN(fa) && math.IsNaN(fb) {
+			continue
+		}
+		if d := math.Abs(fa - fb); d > maxErr {
+			maxErr = d
+		}
+	}
+	return maxErr
+}

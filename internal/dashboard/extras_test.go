@@ -1,0 +1,185 @@
+package dashboard
+
+import (
+	"encoding/json"
+	"image/png"
+	"net/http"
+	"strings"
+	"testing"
+
+	"nsdfgo/internal/tiff"
+)
+
+func TestLegendEndpoint(t *testing.T) {
+	_, srv := newTestServer(t)
+	resp, body := get(t, srv.URL+"/api/legend?palette=terrain&width=128")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+	img, err := png.Decode(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 128 || img.Bounds().Dy() != 24 {
+		t.Errorf("legend %v", img.Bounds())
+	}
+	// Left and right ends must differ (it is a ramp).
+	l := img.At(0, 12)
+	r := img.At(127, 12)
+	if l == r {
+		t.Error("legend is constant")
+	}
+}
+
+func TestLegendValidation(t *testing.T) {
+	_, srv := newTestServer(t)
+	for _, bad := range []string{"palette=nope", "width=2", "width=99999", "width=x"} {
+		resp, _ := get(t, srv.URL+"/api/legend?"+bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %s", bad, resp.Status)
+		}
+	}
+	// Default palette works.
+	resp, _ := get(t, srv.URL+"/api/legend")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("default legend status %s", resp.Status)
+	}
+}
+
+func TestExportTIFFEndpoint(t *testing.T) {
+	_, srv := newTestServer(t)
+	resp, body := get(t, srv.URL+"/api/export.tif?dataset=tennessee_30m&field=elevation&x0=4&y0=8&x1=36&y1=24")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s: %s", resp.Status, body)
+	}
+	im, err := tiff.DecodeBytes(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Width != 32 || im.Height != 16 {
+		t.Errorf("exported %dx%d, want 32x16", im.Width, im.Height)
+	}
+	if im.Type != tiff.Float32 {
+		t.Errorf("exported type %v", im.Type)
+	}
+}
+
+func TestExportTIFFValidation(t *testing.T) {
+	_, srv := newTestServer(t)
+	resp, _ := get(t, srv.URL+"/api/export.tif?dataset=nope")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status %s", resp.Status)
+	}
+}
+
+func TestCompareEndpoint(t *testing.T) {
+	_, srv := newTestServer(t)
+	resp, body := get(t, srv.URL+"/api/compare?dataset=tennessee_30m&field=elevation&field_b=hillshade")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s: %s", resp.Status, body)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["field_a"] != "elevation" || out["field_b"] != "hillshade" {
+		t.Errorf("fields %v", out)
+	}
+	if out["identical"] != false {
+		t.Error("different fields reported identical")
+	}
+	if out["rmse"].(float64) <= 0 {
+		t.Errorf("rmse %v", out["rmse"])
+	}
+
+	// Self-comparison is identical with finite (sentinel) PSNR in JSON.
+	resp, body = get(t, srv.URL+"/api/compare?dataset=tennessee_30m&field=elevation&field_b=elevation")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("self-compare status %s", resp.Status)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("self-compare not valid JSON: %v", err)
+	}
+	if out["identical"] != true {
+		t.Error("self-compare not identical")
+	}
+}
+
+func TestHistogramEndpoint(t *testing.T) {
+	_, srv := newTestServer(t)
+	resp, body := get(t, srv.URL+"/api/histogram?dataset=tennessee_30m&field=elevation&bins=16")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s: %s", resp.Status, body)
+	}
+	var out struct {
+		Bins   int     `json:"bins"`
+		Min    float64 `json:"min"`
+		Max    float64 `json:"max"`
+		Counts []int   `json:"counts"`
+		Nodata int     `json:"nodata"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Bins != 16 || len(out.Counts) != 16 {
+		t.Fatalf("histogram %+v", out)
+	}
+	total := out.Nodata
+	for _, c := range out.Counts {
+		total += c
+	}
+	if total != 64*64 {
+		t.Errorf("histogram covers %d samples, want %d", total, 64*64)
+	}
+	if out.Min >= out.Max {
+		t.Errorf("range [%v,%v]", out.Min, out.Max)
+	}
+	// Validation.
+	for _, bad := range []string{"bins=1", "bins=9999", "bins=x"} {
+		resp, _ := get(t, srv.URL+"/api/histogram?dataset=tennessee_30m&"+bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %s", bad, resp.Status)
+		}
+	}
+}
+
+func TestProbeEndpoint(t *testing.T) {
+	_, srv := newTestServer(t) // 3 timesteps
+	resp, body := get(t, srv.URL+"/api/probe?dataset=tennessee_30m&field=elevation&x=10&y=20")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s: %s", resp.Status, body)
+	}
+	var out struct {
+		Field  string    `json:"field"`
+		Values []float32 `json:"values"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Field != "elevation" || len(out.Values) != 3 {
+		t.Errorf("probe %+v", out)
+	}
+	// Different timesteps hold different fields in the fixture.
+	if out.Values[0] == out.Values[1] && out.Values[1] == out.Values[2] {
+		t.Error("probe values constant across timesteps; fixture varies them")
+	}
+	// Validation.
+	for _, bad := range []string{"x=999&y=0", "x=0", "x=a&y=b", ""} {
+		resp, _ := get(t, srv.URL+"/api/probe?dataset=tennessee_30m&"+bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%q: status %s", bad, resp.Status)
+		}
+	}
+}
+
+func TestCompareValidation(t *testing.T) {
+	_, srv := newTestServer(t)
+	resp, _ := get(t, srv.URL+"/api/compare?dataset=tennessee_30m&field=elevation")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing field_b status %s", resp.Status)
+	}
+	resp, _ = get(t, srv.URL+"/api/compare?dataset=tennessee_30m&field=elevation&field_b=nope")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field_b status %s", resp.Status)
+	}
+}

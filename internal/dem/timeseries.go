@@ -1,0 +1,67 @@
+package dem
+
+import (
+	"math"
+
+	"nsdfgo/internal/raster"
+)
+
+// SeriesOptions parameterises a synthetic time series over a base field.
+type SeriesOptions struct {
+	// Steps is the number of timesteps to generate (>= 1).
+	Steps int
+	// SeasonalAmp is the amplitude of the smooth seasonal cycle as a
+	// fraction of the base field's dynamic range (e.g. 0.15).
+	SeasonalAmp float64
+	// NoiseAmp is the amplitude of per-step weather noise, as a fraction
+	// of the dynamic range (e.g. 0.05).
+	NoiseAmp float64
+	// Period is the cycle length in steps (e.g. 12 for monthly data);
+	// zero defaults to Steps.
+	Period int
+}
+
+// TimeSeries synthesises a temporally coherent series from a base field:
+// each step adds a spatially smooth seasonal oscillation (stronger where
+// the base field is low, like moisture responding in valleys) plus
+// low-amplitude smooth noise that evolves continuously across steps. The
+// result feeds the dashboard's time slider and playback ("a comprehensive
+// view of climate evolution").
+func TimeSeries(base *raster.Grid, seed uint64, o SeriesOptions) []*raster.Grid {
+	if o.Steps < 1 {
+		o.Steps = 1
+	}
+	if o.Period <= 0 {
+		o.Period = o.Steps
+	}
+	lo, hi, ok := base.MinMax()
+	span := float64(hi - lo)
+	if !ok || span <= 0 {
+		span = 1
+	}
+	out := make([]*raster.Grid, o.Steps)
+	for t := 0; t < o.Steps; t++ {
+		phase := 2 * math.Pi * float64(t) / float64(o.Period)
+		season := math.Sin(phase)
+		g := base.Clone()
+		for y := 0; y < g.H; y++ {
+			for x := 0; x < g.W; x++ {
+				v := float64(base.At(x, y))
+				// Seasonal response weight: low-lying cells respond more.
+				weight := 1 - (v-float64(lo))/span*0.7
+				seasonal := o.SeasonalAmp * span * season * weight
+				// Temporally continuous weather noise: 3D value noise with
+				// time as a slow third axis, realised as two blended planes.
+				tt := float64(t) * 0.35
+				t0 := math.Floor(tt)
+				frac := tt - t0
+				n0 := valueNoise(float64(x)/24, float64(y)/24, seed+uint64(t0)*7919)
+				n1 := valueNoise(float64(x)/24, float64(y)/24, seed+uint64(t0+1)*7919)
+				noise := o.NoiseAmp * span * (n0*(1-frac) + n1*frac)
+				g.Set(x, y, float32(v+seasonal+noise))
+			}
+		}
+		out[t] = g
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package dem
+
+import (
+	"math"
+	"testing"
+
+	"nsdfgo/internal/raster"
+)
+
+func baseField(t *testing.T) *raster.Grid {
+	t.Helper()
+	return Scale(FBM(64, 64, 5, DefaultFBM()), 0.1, 0.5)
+}
+
+func TestTimeSeriesLengthAndDims(t *testing.T) {
+	base := baseField(t)
+	series := TimeSeries(base, 1, SeriesOptions{Steps: 12, SeasonalAmp: 0.15, NoiseAmp: 0.05})
+	if len(series) != 12 {
+		t.Fatalf("%d steps", len(series))
+	}
+	for i, g := range series {
+		if g.W != base.W || g.H != base.H {
+			t.Fatalf("step %d dims %dx%d", i, g.W, g.H)
+		}
+	}
+}
+
+func TestTimeSeriesDeterministic(t *testing.T) {
+	base := baseField(t)
+	o := SeriesOptions{Steps: 6, SeasonalAmp: 0.1, NoiseAmp: 0.05}
+	a := TimeSeries(base, 9, o)
+	b := TimeSeries(base, 9, o)
+	for i := range a {
+		if !raster.Equal(a[i], b[i]) {
+			t.Fatalf("step %d differs across same-seed runs", i)
+		}
+	}
+}
+
+func TestTimeSeriesTemporalCoherence(t *testing.T) {
+	// Adjacent steps must be far more similar than distant steps.
+	base := baseField(t)
+	series := TimeSeries(base, 3, SeriesOptions{Steps: 12, SeasonalAmp: 0.2, NoiseAmp: 0.05, Period: 12})
+	// Step 3 is the seasonal peak, step 9 the trough; step 4 is adjacent.
+	adjacent := meanAbsDiff(series[3], series[4])
+	distant := meanAbsDiff(series[3], series[9])
+	if adjacent >= distant {
+		t.Errorf("adjacent diff %v not below opposite-season diff %v", adjacent, distant)
+	}
+}
+
+func TestTimeSeriesSeasonalCycleReturns(t *testing.T) {
+	// One full period later the seasonal term repeats; only noise differs.
+	base := baseField(t)
+	series := TimeSeries(base, 3, SeriesOptions{Steps: 24, SeasonalAmp: 0.2, NoiseAmp: 0.02, Period: 12})
+	samePhase := meanAbsDiff(series[2], series[14])
+	oppositePhase := meanAbsDiff(series[2], series[8])
+	if samePhase >= oppositePhase {
+		t.Errorf("same-phase diff %v not below opposite-phase diff %v", samePhase, oppositePhase)
+	}
+}
+
+func TestTimeSeriesDegenerateOptions(t *testing.T) {
+	base := baseField(t)
+	series := TimeSeries(base, 1, SeriesOptions{})
+	if len(series) != 1 {
+		t.Fatalf("%d steps", len(series))
+	}
+	// Constant base (zero span) must not blow up.
+	flat := raster.New(8, 8)
+	series = TimeSeries(flat, 1, SeriesOptions{Steps: 3, SeasonalAmp: 0.1, NoiseAmp: 0.1})
+	for _, g := range series {
+		for _, v := range g.Data {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatal("non-finite value in degenerate series")
+			}
+		}
+	}
+}
+
+func meanAbsDiff(a, b *raster.Grid) float64 {
+	var sum float64
+	for i := range a.Data {
+		sum += math.Abs(float64(a.Data[i] - b.Data[i]))
+	}
+	return sum / float64(len(a.Data))
+}

@@ -1,0 +1,256 @@
+package fusefs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"path"
+	"sort"
+	"strings"
+	"time"
+
+	"nsdfgo/internal/storage"
+)
+
+// FS is an io/fs.FS view of an object store through a mapping package.
+// Directories are synthesized from path prefixes, as in S3-style stores.
+// FS also offers write operations (WriteFile, Remove), which io/fs does
+// not model.
+type FS struct {
+	store   storage.Store
+	mapping Mapping
+	ctx     context.Context
+}
+
+// New builds a file system over store using the given mapping. ctx bounds
+// every store operation issued through the FS; pass context.Background()
+// for unbounded use.
+func New(ctx context.Context, store storage.Store, mapping Mapping) *FS {
+	return &FS{store: store, mapping: mapping, ctx: ctx}
+}
+
+// Mapping returns the FS's mapping package.
+func (f *FS) Mapping() Mapping { return f.mapping }
+
+// WriteFile stores data at name.
+func (f *FS) WriteFile(name string, data []byte) error {
+	if !fs.ValidPath(name) || name == "." {
+		return &fs.PathError{Op: "write", Path: name, Err: fs.ErrInvalid}
+	}
+	return f.mapping.Write(f.ctx, f.store, name, data)
+}
+
+// Remove deletes the file at name. Removing a missing file is not an
+// error, matching object-store semantics.
+func (f *FS) Remove(name string) error {
+	if !fs.ValidPath(name) || name == "." {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrInvalid}
+	}
+	return f.mapping.Remove(f.ctx, f.store, name)
+}
+
+// ReadFile implements fs.ReadFileFS.
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	if !fs.ValidPath(name) || name == "." {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrInvalid}
+	}
+	data, err := f.mapping.Read(f.ctx, f.store, name)
+	if errors.Is(err, storage.ErrNotExist) {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	return data, err
+}
+
+// Open implements fs.FS. Opening a directory yields a fs.ReadDirFile.
+func (f *FS) Open(name string) (fs.File, error) {
+	if !fs.ValidPath(name) {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrInvalid}
+	}
+	if name == "." {
+		return f.openDir(".")
+	}
+	data, err := f.mapping.Read(f.ctx, f.store, name)
+	if err == nil {
+		return &memFile{name: path.Base(name), data: bytes.NewReader(data), size: int64(len(data))}, nil
+	}
+	if !errors.Is(err, storage.ErrNotExist) {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: err}
+	}
+	// Not a file: maybe a directory.
+	if ok, derr := f.dirExists(name); derr == nil && ok {
+		return f.openDir(name)
+	}
+	return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+}
+
+// Stat implements fs.StatFS.
+func (f *FS) Stat(name string) (fs.FileInfo, error) {
+	file, err := f.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	return file.Stat()
+}
+
+// dirExists reports whether any file lives under name/.
+func (f *FS) dirExists(name string) (bool, error) {
+	files, err := f.mapping.Files(f.ctx, f.store, name+"/")
+	if err != nil {
+		return false, err
+	}
+	return len(files) > 0, nil
+}
+
+// ReadDir implements fs.ReadDirFS.
+func (f *FS) ReadDir(name string) ([]fs.DirEntry, error) {
+	if !fs.ValidPath(name) {
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: fs.ErrInvalid}
+	}
+	prefix := ""
+	if name != "." {
+		prefix = name + "/"
+	}
+	files, err := f.mapping.Files(f.ctx, f.store, prefix)
+	if err != nil {
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: err}
+	}
+	if name != "." && len(files) == 0 {
+		// Distinguish an empty prefix from a missing directory.
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: fs.ErrNotExist}
+	}
+	type entry struct {
+		isDir bool
+		size  int64
+	}
+	entries := map[string]entry{}
+	for _, info := range files {
+		rest := strings.TrimPrefix(info.Path, prefix)
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			entries[rest[:i]] = entry{isDir: true}
+		} else if rest != "" {
+			entries[rest] = entry{size: info.Size}
+		}
+	}
+	names := make([]string, 0, len(entries))
+	for n := range entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]fs.DirEntry, 0, len(names))
+	for _, n := range names {
+		e := entries[n]
+		out = append(out, &dirEntry{name: n, isDir: e.isDir, size: e.size})
+	}
+	return out, nil
+}
+
+// openDir builds a fs.ReadDirFile for name.
+func (f *FS) openDir(name string) (fs.File, error) {
+	entries, err := f.ReadDir(name)
+	if err != nil {
+		return nil, err
+	}
+	return &dirFile{name: path.Base(name), entries: entries}, nil
+}
+
+// memFile is an opened file backed by a byte slice.
+type memFile struct {
+	name string
+	data *bytes.Reader
+	size int64
+}
+
+// Stat implements fs.File.
+func (m *memFile) Stat() (fs.FileInfo, error) {
+	return &fileInfo{name: m.name, size: m.size}, nil
+}
+
+// Read implements fs.File.
+func (m *memFile) Read(p []byte) (int, error) { return m.data.Read(p) }
+
+// Seek lets callers use the file with io.ReadSeeker consumers.
+func (m *memFile) Seek(offset int64, whence int) (int64, error) { return m.data.Seek(offset, whence) }
+
+// Close implements fs.File.
+func (m *memFile) Close() error { return nil }
+
+// dirFile is an opened directory.
+type dirFile struct {
+	name    string
+	entries []fs.DirEntry
+	offset  int
+}
+
+// Stat implements fs.File.
+func (d *dirFile) Stat() (fs.FileInfo, error) {
+	return &fileInfo{name: d.name, dir: true}, nil
+}
+
+// Read implements fs.File; directories are not readable.
+func (d *dirFile) Read([]byte) (int, error) {
+	return 0, &fs.PathError{Op: "read", Path: d.name, Err: fmt.Errorf("is a directory")}
+}
+
+// Close implements fs.File.
+func (d *dirFile) Close() error { return nil }
+
+// ReadDir implements fs.ReadDirFile.
+func (d *dirFile) ReadDir(n int) ([]fs.DirEntry, error) {
+	if n <= 0 {
+		out := d.entries[d.offset:]
+		d.offset = len(d.entries)
+		return out, nil
+	}
+	if d.offset >= len(d.entries) {
+		return nil, io.EOF
+	}
+	hi := d.offset + n
+	if hi > len(d.entries) {
+		hi = len(d.entries)
+	}
+	out := d.entries[d.offset:hi]
+	d.offset = hi
+	return out, nil
+}
+
+// fileInfo implements fs.FileInfo for synthesized entries.
+type fileInfo struct {
+	name string
+	size int64
+	dir  bool
+}
+
+func (i *fileInfo) Name() string { return i.name }
+func (i *fileInfo) Size() int64  { return i.size }
+func (i *fileInfo) Mode() fs.FileMode {
+	if i.dir {
+		return fs.ModeDir | 0o555
+	}
+	return 0o444
+}
+func (i *fileInfo) ModTime() time.Time { return time.Time{} }
+func (i *fileInfo) IsDir() bool        { return i.dir }
+func (i *fileInfo) Sys() any           { return nil }
+
+// dirEntry implements fs.DirEntry.
+type dirEntry struct {
+	name  string
+	isDir bool
+	size  int64
+}
+
+func (e *dirEntry) Name() string { return e.name }
+func (e *dirEntry) IsDir() bool  { return e.isDir }
+func (e *dirEntry) Type() fs.FileMode {
+	if e.isDir {
+		return fs.ModeDir
+	}
+	return 0
+}
+func (e *dirEntry) Info() (fs.FileInfo, error) {
+	return &fileInfo{name: e.name, size: e.size, dir: e.isDir}, nil
+}

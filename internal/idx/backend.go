@@ -1,0 +1,191 @@
+package idx
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Backend is the object-store abstraction an IDX dataset persists to. The
+// storage package's services (sealstore, dataverse, HTTP object store)
+// are adapted to this interface by the query layer; this package ships a
+// memory backend and a directory backend so datasets work standalone.
+//
+// Implementations must be safe for concurrent use.
+type Backend interface {
+	// Get returns the object stored under name, or an error satisfying
+	// IsNotExist when absent.
+	Get(name string) ([]byte, error)
+	// Put stores data under name, replacing any previous object.
+	Put(name string, data []byte) error
+	// List returns all object names with the given prefix, sorted.
+	List(prefix string) ([]string, error)
+}
+
+// NotExistError reports a missing object.
+type NotExistError struct {
+	// Name is the object that was requested.
+	Name string
+}
+
+// Error implements error.
+func (e *NotExistError) Error() string { return fmt.Sprintf("idx: object %q does not exist", e.Name) }
+
+// IsNotExist reports whether err indicates a missing object.
+func IsNotExist(err error) bool {
+	var ne *NotExistError
+	return errors.As(err, &ne)
+}
+
+// MemBackend is an in-memory Backend, useful for tests and for measuring
+// stored dataset sizes.
+type MemBackend struct {
+	mu      sync.RWMutex
+	objects map[string][]byte
+}
+
+// NewMemBackend returns an empty in-memory backend.
+func NewMemBackend() *MemBackend {
+	return &MemBackend{objects: make(map[string][]byte)}
+}
+
+// Get implements Backend.
+func (m *MemBackend) Get(name string) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.objects[name]
+	if !ok {
+		return nil, &NotExistError{Name: name}
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// Put implements Backend.
+func (m *MemBackend) Put(name string, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.objects[name] = cp
+	return nil
+}
+
+// List implements Backend.
+func (m *MemBackend) List(prefix string) ([]string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []string
+	for name := range m.objects {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// TotalBytes returns the sum of stored object sizes; the experiment
+// harness uses it to measure dataset footprints (the ~20 % claim).
+func (m *MemBackend) TotalBytes() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var total int64
+	for _, data := range m.objects {
+		total += int64(len(data))
+	}
+	return total
+}
+
+// NumObjects returns the number of stored objects.
+func (m *MemBackend) NumObjects() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.objects)
+}
+
+// DirBackend stores objects as files beneath a root directory. Object
+// names use '/' separators and map to subdirectories.
+type DirBackend struct {
+	root string
+}
+
+// NewDirBackend creates (if needed) and wraps the given directory.
+func NewDirBackend(root string) (*DirBackend, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("idx: create backend root: %w", err)
+	}
+	return &DirBackend{root: root}, nil
+}
+
+func (d *DirBackend) path(name string) (string, error) {
+	clean := filepath.Clean(filepath.FromSlash(name))
+	if strings.HasPrefix(clean, "..") || filepath.IsAbs(clean) {
+		return "", fmt.Errorf("idx: object name %q escapes backend root", name)
+	}
+	return filepath.Join(d.root, clean), nil
+}
+
+// Get implements Backend.
+func (d *DirBackend) Get(name string) ([]byte, error) {
+	p, err := d.path(name)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(p)
+	if os.IsNotExist(err) {
+		return nil, &NotExistError{Name: name}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("idx: read %q: %w", name, err)
+	}
+	return data, nil
+}
+
+// Put implements Backend.
+func (d *DirBackend) Put(name string, data []byte) error {
+	p, err := d.path(name)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("idx: mkdir for %q: %w", name, err)
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("idx: write %q: %w", name, err)
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		return fmt.Errorf("idx: rename %q: %w", name, err)
+	}
+	return nil
+}
+
+// List implements Backend.
+func (d *DirBackend) List(prefix string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(d.root, func(p string, de os.DirEntry, err error) error {
+		if err != nil || de.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(d.root, p)
+		if err != nil {
+			return err
+		}
+		name := filepath.ToSlash(rel)
+		if strings.HasPrefix(name, prefix) && !strings.HasSuffix(name, ".tmp") {
+			out = append(out, name)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("idx: list %q: %w", prefix, err)
+	}
+	sort.Strings(out)
+	return out, nil
+}

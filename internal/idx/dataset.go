@@ -1,0 +1,436 @@
+// Package idx implements the IDX multiresolution data format at the heart
+// of OpenVisus and the NSDF dashboard: samples of a regular grid are
+// reordered along the hierarchical Z-order (HZ) curve, split into
+// fixed-size blocks, independently compressed, and stored as objects in
+// any Backend. Because coarse resolution levels occupy a prefix of the HZ
+// ordering, a reader can progressively refine a region of interest by
+// fetching only the blocks that intersect the requested box and level —
+// the "storage-oblivious API" of the tutorial paper (§III-A).
+package idx
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"nsdfgo/internal/compress"
+	"nsdfgo/internal/hz"
+	"nsdfgo/internal/raster"
+)
+
+// Dataset is an IDX dataset bound to a Backend.
+type Dataset struct {
+	// Meta is the dataset descriptor.
+	Meta Meta
+
+	be          Backend
+	cache       BlockCache
+	parallelism int
+}
+
+// BlockCache is an optional block-level cache consulted before the
+// Backend on reads ("the caching-enabled framework"). The cache package
+// provides a size-bounded LRU implementation.
+type BlockCache interface {
+	// Get returns the cached block payload, if present.
+	Get(key string) ([]byte, bool)
+	// Put offers a block payload to the cache.
+	Put(key string, data []byte)
+}
+
+// Create initialises a new dataset in the backend by writing its
+// descriptor. Creating over an existing dataset overwrites the descriptor
+// but not stale blocks; use a fresh prefix/backend per dataset.
+func Create(be Backend, meta Meta) (*Dataset, error) {
+	text, err := meta.MarshalText()
+	if err != nil {
+		return nil, err
+	}
+	if err := be.Put(MetaObjectName, text); err != nil {
+		return nil, fmt.Errorf("idx: write descriptor: %w", err)
+	}
+	return &Dataset{Meta: meta, be: be}, nil
+}
+
+// Open loads an existing dataset's descriptor from the backend.
+func Open(be Backend) (*Dataset, error) {
+	text, err := be.Get(MetaObjectName)
+	if err != nil {
+		return nil, fmt.Errorf("idx: read descriptor: %w", err)
+	}
+	var meta Meta
+	if err := meta.UnmarshalText(text); err != nil {
+		return nil, err
+	}
+	return &Dataset{Meta: meta, be: be}, nil
+}
+
+// SetCache attaches a block cache used by subsequent reads.
+func (d *Dataset) SetCache(c BlockCache) { d.cache = c }
+
+// SetFetchParallelism bounds how many block fetches a single ReadBox may
+// issue concurrently against the backend. 1 (the default) fetches
+// serially; higher values hide round-trip latency on remote object
+// stores. The backend must be safe for concurrent use (all of this
+// repository's backends are).
+func (d *Dataset) SetFetchParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	d.parallelism = n
+}
+
+func (d *Dataset) fetchParallelism() int {
+	if d.parallelism < 1 {
+		return 1
+	}
+	return d.parallelism
+}
+
+// fetchBlock gets one block from the backend, decodes it, and offers it
+// to the cache. It returns the decoded payload and the compressed size.
+func (d *Dataset) fetchBlock(field string, t, b int, codec compress.Codec, rawBlockLen int) ([]byte, int64, error) {
+	key := d.BlockKey(field, t, b)
+	enc, err := d.be.Get(key)
+	if err != nil {
+		return nil, 0, fmt.Errorf("idx: block %d: %w", b, err)
+	}
+	raw, err := codec.Decode(enc, rawBlockLen)
+	if err != nil {
+		return nil, 0, fmt.Errorf("idx: decode block %d: %w", b, err)
+	}
+	if d.cache != nil {
+		d.cache.Put(key, raw)
+	}
+	return raw, int64(len(enc)), nil
+}
+
+// Backend returns the dataset's backend.
+func (d *Dataset) Backend() Backend { return d.be }
+
+// BlockKey returns the object name of one block.
+func (d *Dataset) BlockKey(field string, t, block int) string {
+	return fmt.Sprintf("fields/%s/t%04d/b%08d.bin", field, t, block)
+}
+
+// checkFieldTime validates a field/timestep pair and returns the field.
+func (d *Dataset) checkFieldTime(field string, t int) (Field, error) {
+	f, err := d.Meta.Field(field)
+	if err != nil {
+		return Field{}, err
+	}
+	if t < 0 || t >= d.Meta.Timesteps {
+		return Field{}, fmt.Errorf("idx: timestep %d outside [0,%d)", t, d.Meta.Timesteps)
+	}
+	return f, nil
+}
+
+// WriteGrid stores a full-resolution 2D grid as timestep t of the named
+// field, producing every block of the HZ decomposition. The grid must
+// match the dataset's logical dimensions.
+func (d *Dataset) WriteGrid(field string, t int, g *raster.Grid) error {
+	f, err := d.checkFieldTime(field, t)
+	if err != nil {
+		return err
+	}
+	if len(d.Meta.Dims) != 2 {
+		return fmt.Errorf("idx: WriteGrid requires a 2D dataset; this one has %d dims", len(d.Meta.Dims))
+	}
+	if g.W != d.Meta.Dims[0] || g.H != d.Meta.Dims[1] {
+		return fmt.Errorf("idx: grid %dx%d does not match dataset %dx%d", g.W, g.H, d.Meta.Dims[0], d.Meta.Dims[1])
+	}
+	codec, err := compress.Lookup(f.Codec)
+	if err != nil {
+		return err
+	}
+	mask := d.Meta.Bits
+	m := mask.Bits()
+	blockSamples := d.Meta.BlockSamples()
+	numBlocks := d.Meta.NumBlocks()
+	sz := f.Type.Size()
+	w, h := g.W, g.H
+
+	// Write blocks in parallel: each worker owns whole blocks, so no
+	// shared mutable state beyond the (concurrency-safe) backend.
+	workers := 4
+	if numBlocks < workers {
+		workers = numBlocks
+	}
+	errCh := make(chan error, workers)
+	var next int
+	var mu sync.Mutex
+	takeBlock := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= numBlocks {
+			return -1
+		}
+		b := next
+		next++
+		return b
+	}
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := make([]int, mask.Dims())
+			buf := make([]byte, blockSamples*sz)
+			for {
+				b := takeBlock()
+				if b < 0 {
+					return
+				}
+				hz0 := uint64(b) << d.Meta.BitsPerBlock
+				for i := 0; i < blockSamples; i++ {
+					hzAddr := hz0 + uint64(i)
+					v := f.Fill
+					if hzAddr < uint64(1)<<m {
+						mask.Deinterleave(hz.HZToZ(hzAddr, m), p)
+						if p[0] < w && p[1] < h {
+							v = g.Data[p[1]*w+p[0]]
+						}
+					}
+					f.Type.putSample(buf[i*sz:], v)
+				}
+				enc, err := codec.Encode(buf)
+				if err != nil {
+					errCh <- fmt.Errorf("idx: encode block %d: %w", b, err)
+					return
+				}
+				if err := d.be.Put(d.BlockKey(field, t, b), enc); err != nil {
+					errCh <- fmt.Errorf("idx: store block %d: %w", b, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Box is a half-open 2D region [X0,X1) x [Y0,Y1) in full-resolution pixel
+// coordinates.
+type Box struct {
+	// X0, Y0 are the inclusive lower corner.
+	X0, Y0 int
+	// X1, Y1 are the exclusive upper corner.
+	X1, Y1 int
+}
+
+// FullBox returns the dataset's entire logical region.
+func (d *Dataset) FullBox() Box {
+	return Box{0, 0, d.Meta.Dims[0], d.Meta.Dims[1]}
+}
+
+// Clip intersects the box with the dataset's logical region.
+func (d *Dataset) Clip(b Box) Box {
+	if b.X0 < 0 {
+		b.X0 = 0
+	}
+	if b.Y0 < 0 {
+		b.Y0 = 0
+	}
+	if b.X1 > d.Meta.Dims[0] {
+		b.X1 = d.Meta.Dims[0]
+	}
+	if b.Y1 > d.Meta.Dims[1] {
+		b.Y1 = d.Meta.Dims[1]
+	}
+	return b
+}
+
+// Empty reports whether the box contains no pixels.
+func (b Box) Empty() bool { return b.X1 <= b.X0 || b.Y1 <= b.Y0 }
+
+// ReadStats reports the I/O performed by one ReadBox call.
+type ReadStats struct {
+	// BlocksRead counts blocks fetched from the backend.
+	BlocksRead int
+	// BlocksCached counts blocks served by the attached cache.
+	BlocksCached int
+	// BytesRead counts compressed bytes fetched from the backend.
+	BytesRead int64
+	// Samples counts samples delivered to the caller.
+	Samples int
+}
+
+// ReadBox extracts the level-L lattice samples of the named field within
+// box, returning them as a dense grid (one output pixel per lattice
+// sample). level ranges from 0 (single coarsest sample) to
+// Meta.MaxLevel() (full resolution). Only blocks intersecting the
+// requested lattice are fetched, which is what makes remote streaming
+// practical: a coarse preview of a 100TB dataset needs a handful of
+// blocks.
+func (d *Dataset) ReadBox(field string, t int, box Box, level int) (*raster.Grid, *ReadStats, error) {
+	f, err := d.checkFieldTime(field, t)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(d.Meta.Dims) != 2 {
+		return nil, nil, fmt.Errorf("idx: ReadBox requires a 2D dataset")
+	}
+	if level < 0 || level > d.Meta.MaxLevel() {
+		return nil, nil, fmt.Errorf("idx: level %d outside [0,%d]", level, d.Meta.MaxLevel())
+	}
+	box = d.Clip(box)
+	if box.Empty() {
+		return nil, nil, fmt.Errorf("idx: empty query box")
+	}
+	codec, err := compress.Lookup(f.Codec)
+	if err != nil {
+		return nil, nil, err
+	}
+	mask := d.Meta.Bits
+	strides := mask.LevelStrides(level)
+	sx, sy := strides[0], strides[1]
+	// First lattice point >= box lower corner.
+	ax0 := (box.X0 + sx - 1) / sx * sx
+	ay0 := (box.Y0 + sy - 1) / sy * sy
+	if ax0 >= box.X1 || ay0 >= box.Y1 {
+		return nil, nil, fmt.Errorf("idx: box %+v contains no level-%d lattice samples", box, level)
+	}
+	ow := (box.X1-1-ax0)/sx + 1
+	oh := (box.Y1-1-ay0)/sy + 1
+
+	out := raster.New(ow, oh)
+	stats := &ReadStats{Samples: ow * oh}
+	blockSamples := d.Meta.BlockSamples()
+	sz := f.Type.Size()
+	rawBlockLen := blockSamples * sz
+
+	// Phase 1: plan. Compute every sample's HZ address once and collect
+	// the set of blocks the query touches.
+	addrs := make([]uint64, ow*oh)
+	needSet := map[int]bool{}
+	p := make([]int, 2)
+	for oy := 0; oy < oh; oy++ {
+		p[1] = ay0 + oy*sy
+		for ox := 0; ox < ow; ox++ {
+			p[0] = ax0 + ox*sx
+			hzAddr := mask.PointHZ(p)
+			addrs[oy*ow+ox] = hzAddr
+			needSet[int(hzAddr>>d.Meta.BitsPerBlock)] = true
+		}
+	}
+
+	// Phase 2: fetch. Cached blocks are taken first; the misses are
+	// fetched from the backend with bounded parallelism, which hides
+	// round-trip latency on remote stores.
+	blocks := make(map[int][]byte, len(needSet))
+	var misses []int
+	for b := range needSet {
+		if d.cache != nil {
+			if raw, ok := d.cache.Get(d.BlockKey(field, t, b)); ok {
+				stats.BlocksCached++
+				blocks[b] = raw
+				continue
+			}
+		}
+		misses = append(misses, b)
+	}
+	sort.Ints(misses) // deterministic fetch order (and sequential on disk)
+	workers := d.fetchParallelism()
+	if workers > len(misses) {
+		workers = len(misses)
+	}
+	if workers <= 1 {
+		for _, b := range misses {
+			raw, n, err := d.fetchBlock(field, t, b, codec, rawBlockLen)
+			if err != nil {
+				return nil, nil, err
+			}
+			stats.BlocksRead++
+			stats.BytesRead += n
+			blocks[b] = raw
+		}
+	} else {
+		type fetched struct {
+			b   int
+			raw []byte
+			n   int64
+			err error
+		}
+		work := make(chan int)
+		results := make(chan fetched)
+		for wk := 0; wk < workers; wk++ {
+			go func() {
+				for b := range work {
+					raw, n, err := d.fetchBlock(field, t, b, codec, rawBlockLen)
+					results <- fetched{b: b, raw: raw, n: n, err: err}
+				}
+			}()
+		}
+		go func() {
+			for _, b := range misses {
+				work <- b
+			}
+			close(work)
+		}()
+		var firstErr error
+		for range misses {
+			r := <-results
+			if r.err != nil {
+				if firstErr == nil {
+					firstErr = r.err
+				}
+				continue
+			}
+			stats.BlocksRead++
+			stats.BytesRead += r.n
+			blocks[r.b] = r.raw
+		}
+		if firstErr != nil {
+			return nil, nil, firstErr
+		}
+	}
+
+	// Phase 3: assemble the output grid from the decoded blocks.
+	for i, hzAddr := range addrs {
+		raw := blocks[int(hzAddr>>d.Meta.BitsPerBlock)]
+		off := int(hzAddr&uint64(blockSamples-1)) * sz
+		out.Data[i] = f.Type.getSample(raw[off:])
+	}
+	if d.Meta.Geo != nil {
+		out.Geo = &raster.Georef{
+			OriginX: d.Meta.Geo.OriginX + float64(ax0)*d.Meta.Geo.PixelW,
+			OriginY: d.Meta.Geo.OriginY - float64(ay0)*d.Meta.Geo.PixelH,
+			PixelW:  d.Meta.Geo.PixelW * float64(sx),
+			PixelH:  d.Meta.Geo.PixelH * float64(sy),
+		}
+	}
+	return out, stats, nil
+}
+
+// ReadFull reads the complete dataset extent at full resolution.
+func (d *Dataset) ReadFull(field string, t int) (*raster.Grid, *ReadStats, error) {
+	return d.ReadBox(field, t, d.FullBox(), d.Meta.MaxLevel())
+}
+
+// StoredBytes sums the sizes of all stored blocks of one field/timestep,
+// plus nothing else; the experiment harness compares this to TIFF sizes.
+func (d *Dataset) StoredBytes(field string, t int) (int64, error) {
+	if _, err := d.checkFieldTime(field, t); err != nil {
+		return 0, err
+	}
+	prefix := fmt.Sprintf("fields/%s/t%04d/", field, t)
+	names, err := d.be.List(prefix)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, name := range names {
+		data, err := d.be.Get(name)
+		if err != nil {
+			return 0, err
+		}
+		total += int64(len(data))
+	}
+	return total, nil
+}

@@ -1,0 +1,118 @@
+package idx
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// DType enumerates the sample types an IDX field can store. The IDX format
+// is type-generic; the tutorial's terrain fields are float32, hillshade
+// renders naturally as uint8, and soil-moisture products use float64.
+type DType int
+
+// Supported field sample types.
+const (
+	Float32 DType = iota
+	Float64
+	Uint8
+	Uint16
+	Int16
+	Uint32
+)
+
+// Size returns the sample size in bytes.
+func (d DType) Size() int {
+	switch d {
+	case Uint8:
+		return 1
+	case Uint16, Int16:
+		return 2
+	case Float32, Uint32:
+		return 4
+	case Float64:
+		return 8
+	}
+	panic(fmt.Sprintf("idx: invalid DType %d", int(d)))
+}
+
+// String returns the type name used in IDX metadata.
+func (d DType) String() string {
+	switch d {
+	case Float32:
+		return "float32"
+	case Float64:
+		return "float64"
+	case Uint8:
+		return "uint8"
+	case Uint16:
+		return "uint16"
+	case Int16:
+		return "int16"
+	case Uint32:
+		return "uint32"
+	}
+	return fmt.Sprintf("DType(%d)", int(d))
+}
+
+// ParseDType converts a metadata type name to a DType.
+func ParseDType(s string) (DType, error) {
+	for _, d := range []DType{Float32, Float64, Uint8, Uint16, Int16, Uint32} {
+		if d.String() == s {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("idx: unknown sample type %q", s)
+}
+
+// putSample encodes float32 v as dtype d at dst (little-endian). Values are
+// clamped to the integer type's range; NaN stores as zero for integer types.
+func (d DType) putSample(dst []byte, v float32) {
+	switch d {
+	case Float32:
+		binary.LittleEndian.PutUint32(dst, math.Float32bits(v))
+	case Float64:
+		binary.LittleEndian.PutUint64(dst, math.Float64bits(float64(v)))
+	case Uint8:
+		dst[0] = uint8(clampInt(v, 0, math.MaxUint8))
+	case Uint16:
+		binary.LittleEndian.PutUint16(dst, uint16(clampInt(v, 0, math.MaxUint16)))
+	case Int16:
+		binary.LittleEndian.PutUint16(dst, uint16(int16(clampInt(v, math.MinInt16, math.MaxInt16))))
+	case Uint32:
+		binary.LittleEndian.PutUint32(dst, uint32(clampInt(v, 0, math.MaxUint32)))
+	}
+}
+
+// getSample decodes a dtype-d sample at src into float32.
+func (d DType) getSample(src []byte) float32 {
+	switch d {
+	case Float32:
+		return math.Float32frombits(binary.LittleEndian.Uint32(src))
+	case Float64:
+		return float32(math.Float64frombits(binary.LittleEndian.Uint64(src)))
+	case Uint8:
+		return float32(src[0])
+	case Uint16:
+		return float32(binary.LittleEndian.Uint16(src))
+	case Int16:
+		return float32(int16(binary.LittleEndian.Uint16(src)))
+	case Uint32:
+		return float32(binary.LittleEndian.Uint32(src))
+	}
+	return 0
+}
+
+func clampInt(v float32, lo, hi int64) int64 {
+	f := float64(v)
+	if math.IsNaN(f) {
+		return 0
+	}
+	if f < float64(lo) {
+		return lo
+	}
+	if f > float64(hi) {
+		return hi
+	}
+	return int64(math.RoundToEven(f))
+}

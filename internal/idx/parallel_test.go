@@ -1,0 +1,167 @@
+package idx
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"nsdfgo/internal/raster"
+)
+
+// slowCountingBackend wraps MemBackend and tracks the peak number of
+// concurrent Get calls.
+type slowCountingBackend struct {
+	*MemBackend
+	mu      sync.Mutex
+	current int
+	peak    int
+}
+
+func (s *slowCountingBackend) Get(name string) ([]byte, error) {
+	s.mu.Lock()
+	s.current++
+	if s.current > s.peak {
+		s.peak = s.current
+	}
+	s.mu.Unlock()
+	// Simulate remote latency so concurrent fetches actually overlap even
+	// on a single-core test machine.
+	time.Sleep(2 * time.Millisecond)
+	defer func() {
+		s.mu.Lock()
+		s.current--
+		s.mu.Unlock()
+	}()
+	return s.MemBackend.Get(name)
+}
+
+func (s *slowCountingBackend) Peak() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peak
+}
+
+func newParallelDataset(t *testing.T) (*Dataset, *slowCountingBackend, *raster.Grid) {
+	t.Helper()
+	meta, err := NewMeta([]int{128, 128}, []Field{{Name: "elevation", Type: Float32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta.BitsPerBlock = 8 // 64 blocks: plenty of fetch parallelism available
+	be := &slowCountingBackend{MemBackend: NewMemBackend()}
+	ds, err := Create(be, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rampGrid(128, 128)
+	if err := ds.WriteGrid("elevation", 0, g); err != nil {
+		t.Fatal(err)
+	}
+	return ds, be, g
+}
+
+func TestParallelFetchMatchesSerial(t *testing.T) {
+	ds, _, g := newParallelDataset(t)
+	serial, _, err := ds.ReadFull("elevation", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.SetFetchParallelism(8)
+	parallel, stats, err := ds.ReadFull("elevation", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !raster.Equal(serial, parallel) {
+		t.Error("parallel fetch produced different data")
+	}
+	if !raster.Equal(g, parallel) {
+		t.Error("parallel fetch diverged from source grid")
+	}
+	if stats.BlocksRead == 0 {
+		t.Error("no blocks read")
+	}
+}
+
+func TestParallelFetchActuallyConcurrent(t *testing.T) {
+	ds, be, _ := newParallelDataset(t)
+	ds.SetFetchParallelism(8)
+	if _, _, err := ds.ReadFull("elevation", 0); err != nil {
+		t.Fatal(err)
+	}
+	// With 8 workers over 64+ blocks, at least 2 Gets must have
+	// overlapped (scheduling can rarely serialise more, but not all).
+	if be.Peak() < 2 {
+		t.Errorf("peak concurrent Gets = %d; fetch did not parallelise", be.Peak())
+	}
+}
+
+func TestParallelismClampedAndIdempotent(t *testing.T) {
+	ds, _, g := newParallelDataset(t)
+	ds.SetFetchParallelism(-3) // clamps to 1
+	out, _, err := ds.ReadFull("elevation", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !raster.Equal(g, out) {
+		t.Error("clamped parallelism broke reads")
+	}
+	ds.SetFetchParallelism(1000) // more workers than blocks
+	out, _, err = ds.ReadFull("elevation", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !raster.Equal(g, out) {
+		t.Error("oversubscribed parallelism broke reads")
+	}
+}
+
+// failingBackend fails Gets for selected block keys.
+type failingBackend struct {
+	*MemBackend
+	failKey string
+}
+
+func (f *failingBackend) Get(name string) ([]byte, error) {
+	if name == f.failKey {
+		return nil, fmt.Errorf("injected backend failure for %s", name)
+	}
+	return f.MemBackend.Get(name)
+}
+
+func TestParallelFetchSurfacesErrors(t *testing.T) {
+	meta, _ := NewMeta([]int{64, 64}, []Field{{Name: "elevation", Type: Float32}})
+	meta.BitsPerBlock = 8
+	inner := NewMemBackend()
+	ds, err := Create(inner, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteGrid("elevation", 0, rampGrid(64, 64)); err != nil {
+		t.Fatal(err)
+	}
+	fail := &failingBackend{MemBackend: inner, failKey: ds.BlockKey("elevation", 0, 3)}
+	ds2 := &Dataset{Meta: ds.Meta, be: fail}
+	ds2.SetFetchParallelism(4)
+	if _, _, err := ds2.ReadFull("elevation", 0); err == nil {
+		t.Error("injected failure not surfaced by parallel fetch")
+	}
+}
+
+func TestSerialFetchSurfacesErrors(t *testing.T) {
+	meta, _ := NewMeta([]int{64, 64}, []Field{{Name: "elevation", Type: Float32}})
+	meta.BitsPerBlock = 8
+	inner := NewMemBackend()
+	ds, err := Create(inner, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteGrid("elevation", 0, rampGrid(64, 64)); err != nil {
+		t.Fatal(err)
+	}
+	fail := &failingBackend{MemBackend: inner, failKey: ds.BlockKey("elevation", 0, 0)}
+	ds2 := &Dataset{Meta: ds.Meta, be: fail}
+	if _, _, err := ds2.ReadFull("elevation", 0); err == nil {
+		t.Error("injected failure not surfaced by serial fetch")
+	}
+}

@@ -1,0 +1,104 @@
+package idx
+
+import (
+	"fmt"
+
+	"nsdfgo/internal/compress"
+	"nsdfgo/internal/raster"
+)
+
+// WriteRegion updates the rectangular region anchored at (x0,y0) with the
+// samples of g, leaving the rest of the field untouched. Only the blocks
+// intersecting the region are read, modified, and rewritten, which makes
+// out-of-core ingestion possible: a tile producer (GEOtiled) can stream
+// tiles of a 100TB-scale mosaic into IDX without ever materialising the
+// whole grid. Blocks not yet present are initialised with the field's
+// fill value.
+//
+// Concurrent WriteRegion calls on the same dataset are safe only when
+// their regions touch disjoint block sets (block read-modify-write is not
+// transactional); tile writers should partition work accordingly or
+// serialise.
+func (d *Dataset) WriteRegion(field string, t int, x0, y0 int, g *raster.Grid) error {
+	f, err := d.checkFieldTime(field, t)
+	if err != nil {
+		return err
+	}
+	if len(d.Meta.Dims) != 2 {
+		return fmt.Errorf("idx: WriteRegion requires a 2D dataset")
+	}
+	w, h := d.Meta.Dims[0], d.Meta.Dims[1]
+	if x0 < 0 || y0 < 0 || x0+g.W > w || y0+g.H > h {
+		return fmt.Errorf("idx: region %dx%d at (%d,%d) outside dataset %dx%d", g.W, g.H, x0, y0, w, h)
+	}
+	if g.W <= 0 || g.H <= 0 {
+		return fmt.Errorf("idx: empty region")
+	}
+	codec, err := compress.Lookup(f.Codec)
+	if err != nil {
+		return err
+	}
+	mask := d.Meta.Bits
+	blockSamples := d.Meta.BlockSamples()
+	sz := f.Type.Size()
+	rawBlockLen := blockSamples * sz
+
+	// Plan: HZ address of every region sample, grouped by block.
+	type sample struct {
+		off int // byte offset within the block
+		v   float32
+	}
+	perBlock := map[int][]sample{}
+	p := make([]int, 2)
+	for ry := 0; ry < g.H; ry++ {
+		p[1] = y0 + ry
+		for rx := 0; rx < g.W; rx++ {
+			p[0] = x0 + rx
+			hzAddr := mask.PointHZ(p)
+			b := int(hzAddr >> d.Meta.BitsPerBlock)
+			perBlock[b] = append(perBlock[b], sample{
+				off: int(hzAddr&uint64(blockSamples-1)) * sz,
+				v:   g.Data[ry*g.W+rx],
+			})
+		}
+	}
+
+	// Read-modify-write each touched block.
+	for b, samples := range perBlock {
+		key := d.BlockKey(field, t, b)
+		var raw []byte
+		enc, err := d.be.Get(key)
+		switch {
+		case err == nil:
+			raw, err = codec.Decode(enc, rawBlockLen)
+			if err != nil {
+				return fmt.Errorf("idx: decode block %d: %w", b, err)
+			}
+		case IsNotExist(err):
+			// Initialise a fresh block: every slot (written-region samples,
+			// not-yet-written samples, and pow2 padding) starts at the
+			// field's fill value.
+			raw = make([]byte, rawBlockLen)
+			for i := 0; i < blockSamples; i++ {
+				f.Type.putSample(raw[i*sz:], f.Fill)
+			}
+		default:
+			return fmt.Errorf("idx: read block %d: %w", b, err)
+		}
+		for _, s := range samples {
+			f.Type.putSample(raw[s.off:], s.v)
+		}
+		encOut, err := codec.Encode(raw)
+		if err != nil {
+			return fmt.Errorf("idx: encode block %d: %w", b, err)
+		}
+		if err := d.be.Put(key, encOut); err != nil {
+			return fmt.Errorf("idx: store block %d: %w", b, err)
+		}
+		if d.cache != nil {
+			// Invalidate/refresh: offer the updated payload.
+			d.cache.Put(key, raw)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package netcdf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"nsdfgo/internal/raster"
+)
+
+// FromGrid builds a CF-style NetCDF dataset from a raster grid: a 2D
+// float variable over (lat, lon) dimensions, with coordinate variables
+// carrying the georeferencing (when present) and conventional units
+// attributes — the shape SOMOSPIE's inputs arrive in.
+func FromGrid(varName string, g *raster.Grid, units string) (*File, error) {
+	if g.W <= 0 || g.H <= 0 || len(g.Data) != g.W*g.H {
+		return nil, fmt.Errorf("netcdf: malformed grid %dx%d", g.W, g.H)
+	}
+	f := &File{
+		Dims: []Dim{{Name: "lat", Len: g.H}, {Name: "lon", Len: g.W}},
+		GlobalAttrs: []Attr{
+			{Name: "Conventions", Value: "CF-1.8"},
+			{Name: "source", Value: "nsdfgo synthetic reproduction"},
+		},
+	}
+	if g.Geo != nil {
+		lat := make([]byte, 8*g.H)
+		for y := 0; y < g.H; y++ {
+			_, gy := g.Geo.PixelToGeo(0, y)
+			binary.BigEndian.PutUint64(lat[8*y:], math.Float64bits(gy))
+		}
+		lon := make([]byte, 8*g.W)
+		for x := 0; x < g.W; x++ {
+			gx, _ := g.Geo.PixelToGeo(x, 0)
+			binary.BigEndian.PutUint64(lon[8*x:], math.Float64bits(gx))
+		}
+		f.Vars = append(f.Vars,
+			Var{Name: "lat", Type: Double, DimIDs: []int{0}, Data: lat,
+				Attrs: []Attr{{Name: "units", Value: "degrees_north"}}},
+			Var{Name: "lon", Type: Double, DimIDs: []int{1}, Data: lon,
+				Attrs: []Attr{{Name: "units", Value: "degrees_east"}}},
+		)
+	}
+	payload := make([]byte, 4*len(g.Data))
+	for i, v := range g.Data {
+		binary.BigEndian.PutUint32(payload[4*i:], math.Float32bits(v))
+	}
+	mainVar := Var{Name: varName, Type: Float, DimIDs: []int{0, 1}, Data: payload}
+	if units != "" {
+		mainVar.Attrs = append(mainVar.Attrs, Attr{Name: "units", Value: units})
+	}
+	f.Vars = append(f.Vars, mainVar)
+	return f, nil
+}
+
+// Grid extracts a 2D numeric variable as a raster grid, reconstructing
+// georeferencing from CF coordinate variables when they are regular.
+func (f *File) Grid(varName string) (*raster.Grid, error) {
+	v, err := f.Var(varName)
+	if err != nil {
+		return nil, err
+	}
+	if len(v.DimIDs) != 2 {
+		return nil, fmt.Errorf("netcdf: variable %q has %d dimensions, want 2", varName, len(v.DimIDs))
+	}
+	h := f.Dims[v.DimIDs[0]].Len
+	w := f.Dims[v.DimIDs[1]].Len
+	g := raster.New(w, h)
+	sz := v.Type.Size()
+	for i := 0; i < w*h; i++ {
+		off := i * sz
+		switch v.Type {
+		case Float:
+			g.Data[i] = math.Float32frombits(binary.BigEndian.Uint32(v.Data[off:]))
+		case Double:
+			g.Data[i] = float32(math.Float64frombits(binary.BigEndian.Uint64(v.Data[off:])))
+		case Short:
+			g.Data[i] = float32(int16(binary.BigEndian.Uint16(v.Data[off:])))
+		case Int:
+			g.Data[i] = float32(int32(binary.BigEndian.Uint32(v.Data[off:])))
+		case Byte:
+			g.Data[i] = float32(int8(v.Data[off]))
+		default:
+			return nil, fmt.Errorf("netcdf: variable %q has non-numeric type %s", varName, v.Type)
+		}
+	}
+	// Reconstruct georeferencing from 1D double coordinate variables named
+	// after the dimensions, if they form regular ladders.
+	latName := f.Dims[v.DimIDs[0]].Name
+	lonName := f.Dims[v.DimIDs[1]].Name
+	lat, latErr := f.coordLadder(latName, h)
+	lon, lonErr := f.coordLadder(lonName, w)
+	if latErr == nil && lonErr == nil && h > 1 && w > 1 {
+		pixelH := (lat[0] - lat[h-1]) / float64(h-1)
+		pixelW := (lon[w-1] - lon[0]) / float64(w-1)
+		if pixelH > 0 && pixelW > 0 {
+			g.Geo = &raster.Georef{
+				OriginX: lon[0] - pixelW/2,
+				OriginY: lat[0] + pixelH/2,
+				PixelW:  pixelW,
+				PixelH:  pixelH,
+			}
+		}
+	}
+	return g, nil
+}
+
+// coordLadder reads a 1D double coordinate variable of the given length.
+func (f *File) coordLadder(name string, n int) ([]float64, error) {
+	v, err := f.Var(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(v.DimIDs) != 1 || f.Dims[v.DimIDs[0]].Len != n || v.Type != Double {
+		return nil, fmt.Errorf("netcdf: %q is not a 1D double coordinate of length %d", name, n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.BigEndian.Uint64(v.Data[8*i:]))
+	}
+	return out, nil
+}

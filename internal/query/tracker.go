@@ -1,0 +1,133 @@
+package query
+
+import (
+	"fmt"
+	"sync"
+
+	"nsdfgo/internal/idx"
+)
+
+// AccessTracker implements the access-pattern analysis §III-A attributes
+// to OpenVisus: "by continuously analyzing how data is accessed,
+// OpenVisus can dynamically update the data layout to prioritize
+// frequently accessed data". Requests deposit heat on a coarse grid over
+// the dataset extent; the engine can then identify the hot region and
+// prefetch its blocks into the cache before the user asks again.
+type AccessTracker struct {
+	mu   sync.Mutex
+	res  int // heat grid is res x res
+	heat []float64
+	w, h int // dataset extent
+	n    int64
+}
+
+// newAccessTracker builds a tracker over a w x h dataset with a res x res
+// heat grid.
+func newAccessTracker(w, h, res int) *AccessTracker {
+	if res < 1 {
+		res = 32
+	}
+	return &AccessTracker{res: res, heat: make([]float64, res*res), w: w, h: h}
+}
+
+// record deposits one unit of heat spread over the box's cells.
+func (a *AccessTracker) record(box idx.Box) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.n++
+	cx0 := box.X0 * a.res / a.w
+	cy0 := box.Y0 * a.res / a.h
+	cx1 := (box.X1 - 1) * a.res / a.w
+	cy1 := (box.Y1 - 1) * a.res / a.h
+	cells := float64((cx1 - cx0 + 1) * (cy1 - cy0 + 1))
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			a.heat[cy*a.res+cx] += 1 / cells
+		}
+	}
+}
+
+// Requests returns how many requests the tracker has recorded.
+func (a *AccessTracker) Requests() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.n
+}
+
+// HotBox returns the bounding box (in dataset pixels) of the cells whose
+// heat reaches threshold × the maximum heat. threshold in (0,1];
+// ok=false before any requests.
+func (a *AccessTracker) HotBox(threshold float64) (idx.Box, bool) {
+	if threshold <= 0 || threshold > 1 {
+		threshold = 0.5
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	maxHeat := 0.0
+	for _, v := range a.heat {
+		if v > maxHeat {
+			maxHeat = v
+		}
+	}
+	if maxHeat == 0 {
+		return idx.Box{}, false
+	}
+	cut := threshold * maxHeat
+	cx0, cy0, cx1, cy1 := a.res, a.res, -1, -1
+	for cy := 0; cy < a.res; cy++ {
+		for cx := 0; cx < a.res; cx++ {
+			if a.heat[cy*a.res+cx] >= cut {
+				if cx < cx0 {
+					cx0 = cx
+				}
+				if cy < cy0 {
+					cy0 = cy
+				}
+				if cx > cx1 {
+					cx1 = cx
+				}
+				if cy > cy1 {
+					cy1 = cy
+				}
+			}
+		}
+	}
+	return idx.Box{
+		X0: cx0 * a.w / a.res,
+		Y0: cy0 * a.h / a.res,
+		X1: (cx1 + 1) * a.w / a.res,
+		Y1: (cy1 + 1) * a.h / a.res,
+	}, true
+}
+
+// EnableTracking switches on access-pattern analysis with a heat grid of
+// res x res cells (use 32 unless the dataset is tiny). Must be called
+// before the requests you want analysed; calling it again resets the
+// heat.
+func (e *Engine) EnableTracking(res int) {
+	dims := e.ds.Meta.Dims
+	e.tracker = newAccessTracker(dims[0], dims[1], res)
+}
+
+// Tracker returns the engine's access tracker, or nil when tracking is
+// off.
+func (e *Engine) Tracker() *AccessTracker { return e.tracker }
+
+// Prefetch reads the hot region (threshold 0.5) of the named field at the
+// given level, purely to warm the block cache — the engine's answer to
+// "prioritize frequently accessed data". It reports what was warmed.
+// With tracking off or no traffic yet, Prefetch is a no-op.
+func (e *Engine) Prefetch(field string, t, level int) (idx.Box, idx.ReadStats, error) {
+	if e.tracker == nil {
+		return idx.Box{}, idx.ReadStats{}, nil
+	}
+	hot, ok := e.tracker.HotBox(0.5)
+	if !ok {
+		return idx.Box{}, idx.ReadStats{}, nil
+	}
+	res, err := e.Read(Request{Field: field, Time: t, Box: hot, Level: level, noTrack: true})
+	if err != nil {
+		return hot, idx.ReadStats{}, fmt.Errorf("query: prefetch: %w", err)
+	}
+	return hot, res.Stats, nil
+}

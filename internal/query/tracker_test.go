@@ -1,0 +1,126 @@
+package query
+
+import (
+	"testing"
+
+	"nsdfgo/internal/idx"
+)
+
+func TestTrackerOffByDefault(t *testing.T) {
+	e, _ := newEngine(t, 64, 64, 8)
+	if e.Tracker() != nil {
+		t.Error("tracker on by default")
+	}
+	box, stats, err := e.Prefetch("elevation", 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !box.Empty() || stats.BlocksRead != 0 {
+		t.Error("prefetch without tracking did work")
+	}
+}
+
+func TestTrackerRecordsRequests(t *testing.T) {
+	e, _ := newEngine(t, 64, 64, 8)
+	e.EnableTracking(16)
+	for i := 0; i < 5; i++ {
+		if _, err := e.Read(Request{Field: "elevation", Box: idx.Box{X0: 16, Y0: 16, X1: 32, Y1: 32}, Level: LevelFull}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Tracker().Requests() != 5 {
+		t.Errorf("Requests = %d", e.Tracker().Requests())
+	}
+}
+
+func TestHotBoxFindsRevisitedRegion(t *testing.T) {
+	e, _ := newEngine(t, 128, 128, 10)
+	e.EnableTracking(32)
+	// One full-extent overview, many revisits of the NE quadrant.
+	if _, err := e.Read(Request{Field: "elevation", Level: 8}); err != nil {
+		t.Fatal(err)
+	}
+	target := idx.Box{X0: 64, Y0: 0, X1: 128, Y1: 64}
+	for i := 0; i < 10; i++ {
+		if _, err := e.Read(Request{Field: "elevation", Box: target, Level: LevelFull}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hot, ok := e.Tracker().HotBox(0.5)
+	if !ok {
+		t.Fatal("no hot box")
+	}
+	// The hot box must sit inside (or equal) the revisited quadrant,
+	// modulo one heat-grid cell (128/32 = 4 pixels).
+	const slack = 4
+	if hot.X0 < target.X0-slack || hot.Y1 > target.Y1+slack {
+		t.Errorf("hot box %+v does not match revisited quadrant %+v", hot, target)
+	}
+	if hot.Empty() {
+		t.Error("empty hot box")
+	}
+}
+
+func TestHotBoxBeforeTraffic(t *testing.T) {
+	e, _ := newEngine(t, 64, 64, 8)
+	e.EnableTracking(8)
+	if _, ok := e.Tracker().HotBox(0.5); ok {
+		t.Error("hot box without traffic")
+	}
+}
+
+func TestPrefetchWarmsCache(t *testing.T) {
+	e, _ := newEngine(t, 128, 128, 8)
+	e.EnableTracking(32)
+	target := idx.Box{X0: 0, Y0: 64, X1: 64, Y1: 128}
+	// Train the tracker with cheap coarse reads.
+	for i := 0; i < 6; i++ {
+		if _, err := e.Read(Request{Field: "elevation", Box: target, Level: 6}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Prefetch the hot region at full resolution.
+	hot, stats, err := e.Prefetch("elevation", 0, e.Dataset().Meta.MaxLevel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.Empty() {
+		t.Fatal("prefetch found no hot region")
+	}
+	if stats.BlocksRead == 0 {
+		t.Fatal("prefetch fetched nothing")
+	}
+	// The user's next full-resolution read of the region is now cache-only.
+	res, err := e.Read(Request{Field: "elevation", Box: target, Level: LevelFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BlocksRead != 0 {
+		t.Errorf("read after prefetch still fetched %d blocks", res.Stats.BlocksRead)
+	}
+}
+
+func TestPrefetchDoesNotFeedTracker(t *testing.T) {
+	e, _ := newEngine(t, 64, 64, 8)
+	e.EnableTracking(8)
+	if _, err := e.Read(Request{Field: "elevation", Box: idx.Box{X0: 0, Y0: 0, X1: 8, Y1: 8}, Level: LevelFull}); err != nil {
+		t.Fatal(err)
+	}
+	before := e.Tracker().Requests()
+	if _, _, err := e.Prefetch("elevation", 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if e.Tracker().Requests() != before {
+		t.Error("prefetch polluted the tracker")
+	}
+}
+
+func TestEnableTrackingResets(t *testing.T) {
+	e, _ := newEngine(t, 64, 64, 8)
+	e.EnableTracking(8)
+	e.Read(Request{Field: "elevation", Level: 4})
+	e.EnableTracking(8)
+	if e.Tracker().Requests() != 0 {
+		t.Error("re-enable did not reset")
+	}
+}

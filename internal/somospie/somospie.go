@@ -1,0 +1,499 @@
+// Package somospie reimplements the modelling core of SOMOSPIE (SOil
+// MOisture SPatial Inference Engine; Rorabaugh et al., eScience 2019), the
+// Earth-science application motivating the NSDF tutorial: predicting
+// fine-resolution soil moisture from sparse satellite observations and
+// high-resolution terrain parameters. Like the original, the engine is
+// modular: interchangeable data-driven models (k-nearest-neighbours,
+// inverse-distance weighting, ordinary least squares) behind a single
+// interface, with sampling, train/test splitting, gridded prediction, and
+// evaluation utilities.
+package somospie
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"nsdfgo/internal/raster"
+)
+
+// Sample is one soil-moisture observation with its terrain covariates.
+type Sample struct {
+	// X and Y locate the observation (pixel or geographic coordinates;
+	// the engine only requires consistency).
+	X, Y float64
+	// Cov holds the terrain covariates (elevation, slope, aspect, ...).
+	Cov []float64
+	// Value is the observed soil moisture (volumetric fraction).
+	Value float64
+}
+
+// Model is a trainable spatial-inference model.
+type Model interface {
+	// Name identifies the model in reports.
+	Name() string
+	// Fit trains on the samples. Implementations copy what they keep.
+	Fit(samples []Sample) error
+	// Predict estimates the value at a location with covariates cov.
+	Predict(x, y float64, cov []float64) float64
+}
+
+// KNN predicts with the inverse-distance-weighted mean of the K nearest
+// training samples in normalised covariate space — SOMOSPIE's primary
+// model family.
+type KNN struct {
+	// K is the neighbour count; zero defaults to 5.
+	K int
+
+	samples []Sample
+	mean    []float64
+	std     []float64
+}
+
+// Name implements Model.
+func (k *KNN) Name() string { return fmt.Sprintf("knn(k=%d)", k.k()) }
+
+func (k *KNN) k() int {
+	if k.K <= 0 {
+		return 5
+	}
+	return k.K
+}
+
+// Fit implements Model: it stores the samples and the per-covariate
+// normalisation so distances are scale-free.
+func (k *KNN) Fit(samples []Sample) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("somospie: knn needs at least one training sample")
+	}
+	dim := len(samples[0].Cov)
+	for i, s := range samples {
+		if len(s.Cov) != dim {
+			return fmt.Errorf("somospie: sample %d has %d covariates, want %d", i, len(s.Cov), dim)
+		}
+	}
+	k.samples = append([]Sample(nil), samples...)
+	k.mean = make([]float64, dim)
+	k.std = make([]float64, dim)
+	for d := 0; d < dim; d++ {
+		var sum, sumSq float64
+		for _, s := range samples {
+			sum += s.Cov[d]
+			sumSq += s.Cov[d] * s.Cov[d]
+		}
+		n := float64(len(samples))
+		k.mean[d] = sum / n
+		v := sumSq/n - k.mean[d]*k.mean[d]
+		if v < 1e-12 {
+			v = 1
+		}
+		k.std[d] = math.Sqrt(v)
+	}
+	return nil
+}
+
+// Predict implements Model.
+func (k *KNN) Predict(x, y float64, cov []float64) float64 {
+	type cand struct {
+		d2 float64
+		v  float64
+	}
+	kk := k.k()
+	if kk > len(k.samples) {
+		kk = len(k.samples)
+	}
+	// Maintain the kk best candidates in a small slice (kk is tiny).
+	best := make([]cand, 0, kk+1)
+	for i := range k.samples {
+		s := &k.samples[i]
+		d2 := 0.0
+		for d := range cov {
+			z := (cov[d] - s.Cov[d]) / k.std[d]
+			d2 += z * z
+		}
+		if len(best) < kk || d2 < best[len(best)-1].d2 {
+			best = append(best, cand{d2: d2, v: s.Value})
+			sort.Slice(best, func(a, b int) bool { return best[a].d2 < best[b].d2 })
+			if len(best) > kk {
+				best = best[:kk]
+			}
+		}
+	}
+	var num, den float64
+	for _, c := range best {
+		w := 1.0 / (math.Sqrt(c.d2) + 1e-9)
+		num += w * c.v
+		den += w
+	}
+	return num / den
+}
+
+// IDW predicts with inverse-distance weighting in *space*: nearby
+// observations dominate, regardless of terrain similarity. It is the
+// classical geostatistical baseline SOMOSPIE compares against.
+type IDW struct {
+	// Power is the distance exponent; zero defaults to 2.
+	Power float64
+	// MaxNeighbors bounds the neighbourhood; zero means all samples.
+	MaxNeighbors int
+
+	samples []Sample
+}
+
+// Name implements Model.
+func (m *IDW) Name() string { return fmt.Sprintf("idw(p=%g)", m.power()) }
+
+func (m *IDW) power() float64 {
+	if m.Power <= 0 {
+		return 2
+	}
+	return m.Power
+}
+
+// Fit implements Model.
+func (m *IDW) Fit(samples []Sample) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("somospie: idw needs at least one training sample")
+	}
+	m.samples = append([]Sample(nil), samples...)
+	return nil
+}
+
+// Predict implements Model.
+func (m *IDW) Predict(x, y float64, cov []float64) float64 {
+	type cand struct {
+		d2 float64
+		v  float64
+	}
+	var cands []cand
+	for i := range m.samples {
+		s := &m.samples[i]
+		dx, dy := s.X-x, s.Y-y
+		d2 := dx*dx + dy*dy
+		if d2 < 1e-18 {
+			return s.Value // exact hit
+		}
+		cands = append(cands, cand{d2: d2, v: s.Value})
+	}
+	if m.MaxNeighbors > 0 && len(cands) > m.MaxNeighbors {
+		sort.Slice(cands, func(a, b int) bool { return cands[a].d2 < cands[b].d2 })
+		cands = cands[:m.MaxNeighbors]
+	}
+	p := m.power()
+	var num, den float64
+	for _, c := range cands {
+		w := 1.0 / math.Pow(math.Sqrt(c.d2), p)
+		num += w * c.v
+		den += w
+	}
+	return num / den
+}
+
+// Linear is ordinary least squares on the covariates (with intercept),
+// fitted by solving the normal equations with Gaussian elimination.
+type Linear struct {
+	coef []float64 // [intercept, b1..bd]
+}
+
+// Name implements Model.
+func (m *Linear) Name() string { return "ols" }
+
+// Fit implements Model.
+func (m *Linear) Fit(samples []Sample) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("somospie: ols needs at least one training sample")
+	}
+	dim := len(samples[0].Cov) + 1
+	if len(samples) < dim {
+		return fmt.Errorf("somospie: ols needs >= %d samples for %d coefficients, got %d", dim, dim, len(samples))
+	}
+	// Build X'X and X'y.
+	xtx := make([][]float64, dim)
+	for i := range xtx {
+		xtx[i] = make([]float64, dim)
+	}
+	xty := make([]float64, dim)
+	row := make([]float64, dim)
+	for _, s := range samples {
+		row[0] = 1
+		copy(row[1:], s.Cov)
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+			xty[i] += row[i] * s.Value
+		}
+	}
+	// Ridge-stabilise the diagonal slightly to keep degenerate designs solvable.
+	for i := 0; i < dim; i++ {
+		xtx[i][i] += 1e-9
+	}
+	coef, err := solveLinearSystem(xtx, xty)
+	if err != nil {
+		return fmt.Errorf("somospie: ols: %w", err)
+	}
+	m.coef = coef
+	return nil
+}
+
+// Predict implements Model.
+func (m *Linear) Predict(x, y float64, cov []float64) float64 {
+	v := m.coef[0]
+	for d := range cov {
+		v += m.coef[d+1] * cov[d]
+	}
+	return v
+}
+
+// solveLinearSystem solves Ax=b in place with partial pivoting.
+func solveLinearSystem(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-15 {
+			return nil, fmt.Errorf("singular design matrix at column %d", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		v := b[r]
+		for c := r + 1; c < n; c++ {
+			v -= a[r][c] * x[c]
+		}
+		x[r] = v / a[r][r]
+	}
+	return x, nil
+}
+
+// covariateStack bundles aligned covariate grids.
+func covariateStack(covs []*raster.Grid) (w, h int, err error) {
+	if len(covs) == 0 {
+		return 0, 0, fmt.Errorf("somospie: no covariate grids")
+	}
+	w, h = covs[0].W, covs[0].H
+	for i, g := range covs {
+		if g.W != w || g.H != h {
+			return 0, 0, fmt.Errorf("somospie: covariate %d is %dx%d, want %dx%d", i, g.W, g.H, w, h)
+		}
+	}
+	return w, h, nil
+}
+
+// SyntheticTruth generates a plausible ground-truth soil-moisture grid
+// from terrain covariates: moisture declines with elevation (orographic
+// drainage) and slope (runoff), is higher on north-facing aspects (less
+// insolation in the northern hemisphere), plus smooth spatial noise. The
+// output is clamped to the physical range [0.02, 0.55] (volumetric
+// fraction). It stands in for the gap-filled ESA-CCI product SOMOSPIE
+// downscales.
+func SyntheticTruth(elev, slope, aspect *raster.Grid, seed uint64) (*raster.Grid, error) {
+	w, h, err := covariateStack([]*raster.Grid{elev, slope, aspect})
+	if err != nil {
+		return nil, err
+	}
+	eStats := elev.ComputeStats()
+	out := raster.New(w, h)
+	rng := rand.New(rand.NewSource(int64(seed)))
+	// Smooth spatial noise via a coarse lattice bilinearly interpolated.
+	const lat = 16
+	noise := make([]float64, (lat+1)*(lat+1))
+	for i := range noise {
+		noise[i] = rng.NormFloat64() * 0.03
+	}
+	sample := func(x, y int) float64 {
+		fx := float64(x) / float64(w) * lat
+		fy := float64(y) / float64(h) * lat
+		ix, iy := int(fx), int(fy)
+		tx, ty := fx-float64(ix), fy-float64(iy)
+		n00 := noise[iy*(lat+1)+ix]
+		n10 := noise[iy*(lat+1)+ix+1]
+		n01 := noise[(iy+1)*(lat+1)+ix]
+		n11 := noise[(iy+1)*(lat+1)+ix+1]
+		return (n00*(1-tx)+n10*tx)*(1-ty) + (n01*(1-tx)+n11*tx)*ty
+	}
+	span := eStats.Max - eStats.Min
+	if span <= 0 {
+		span = 1
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			e := (float64(elev.At(x, y)) - eStats.Min) / span // 0..1
+			s := float64(slope.At(x, y)) / 90                 // 0..1
+			a := float64(aspect.At(x, y))
+			northness := 0.0
+			if a >= 0 {
+				northness = math.Cos(a * math.Pi / 180) // 1 north, -1 south
+			}
+			m := 0.38 - 0.22*e - 0.18*s + 0.03*northness + sample(x, y)
+			if m < 0.02 {
+				m = 0.02
+			}
+			if m > 0.55 {
+				m = 0.55
+			}
+			out.Set(x, y, float32(m))
+		}
+	}
+	if elev.Geo != nil {
+		geo := *elev.Geo
+		out.Geo = &geo
+	}
+	return out, nil
+}
+
+// DrawSamples picks n distinct random pixels of truth and returns them as
+// training/evaluation samples with covariates taken from covs.
+func DrawSamples(truth *raster.Grid, covs []*raster.Grid, n int, seed uint64) ([]Sample, error) {
+	w, h, err := covariateStack(append([]*raster.Grid{truth}, covs...))
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 || n > w*h {
+		return nil, fmt.Errorf("somospie: cannot draw %d samples from %d pixels", n, w*h)
+	}
+	rng := rand.New(rand.NewSource(int64(seed)))
+	perm := rng.Perm(w * h)
+	out := make([]Sample, 0, n)
+	for _, idx := range perm {
+		if len(out) == n {
+			break
+		}
+		x, y := idx%w, idx/w
+		v := truth.At(x, y)
+		if math.IsNaN(float64(v)) {
+			continue
+		}
+		cov := make([]float64, len(covs))
+		skip := false
+		for d, g := range covs {
+			c := float64(g.At(x, y))
+			if math.IsNaN(c) {
+				skip = true
+				break
+			}
+			cov[d] = c
+		}
+		if skip {
+			continue
+		}
+		out = append(out, Sample{X: float64(x), Y: float64(y), Cov: cov, Value: float64(v)})
+	}
+	if len(out) < n {
+		return nil, fmt.Errorf("somospie: only %d usable samples of %d requested (nodata)", len(out), n)
+	}
+	return out, nil
+}
+
+// Split partitions samples into train and test sets with the given test
+// fraction, shuffled deterministically by seed.
+func Split(samples []Sample, testFrac float64, seed uint64) (train, test []Sample, err error) {
+	if testFrac <= 0 || testFrac >= 1 {
+		return nil, nil, fmt.Errorf("somospie: test fraction %g outside (0,1)", testFrac)
+	}
+	rng := rand.New(rand.NewSource(int64(seed)))
+	shuffled := append([]Sample(nil), samples...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	cut := int(float64(len(shuffled)) * testFrac)
+	if cut == 0 || cut == len(shuffled) {
+		return nil, nil, fmt.Errorf("somospie: split of %d samples at %g leaves an empty side", len(samples), testFrac)
+	}
+	return shuffled[cut:], shuffled[:cut], nil
+}
+
+// PredictGrid evaluates the model at every pixel, producing the
+// fine-resolution soil-moisture product.
+func PredictGrid(m Model, covs []*raster.Grid) (*raster.Grid, error) {
+	w, h, err := covariateStack(covs)
+	if err != nil {
+		return nil, err
+	}
+	out := raster.New(w, h)
+	cov := make([]float64, len(covs))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			nodata := false
+			for d, g := range covs {
+				c := float64(g.At(x, y))
+				if math.IsNaN(c) {
+					nodata = true
+					break
+				}
+				cov[d] = c
+			}
+			if nodata {
+				out.Set(x, y, float32(math.NaN()))
+				continue
+			}
+			out.Set(x, y, float32(m.Predict(float64(x), float64(y), cov)))
+		}
+	}
+	if covs[0].Geo != nil {
+		geo := *covs[0].Geo
+		out.Geo = &geo
+	}
+	return out, nil
+}
+
+// EvalReport summarises model accuracy on held-out samples.
+type EvalReport struct {
+	// Model is the evaluated model's name.
+	Model string
+	// N is the test sample count.
+	N int
+	// RMSE and MAE are the error metrics.
+	RMSE, MAE float64
+	// R2 is the coefficient of determination.
+	R2 float64
+}
+
+// String renders the report row used by the experiment harness.
+func (r EvalReport) String() string {
+	return fmt.Sprintf("%-12s n=%d rmse=%.4f mae=%.4f r2=%.3f", r.Model, r.N, r.RMSE, r.MAE, r.R2)
+}
+
+// Evaluate fits nothing; it scores a fitted model on test samples.
+func Evaluate(m Model, test []Sample) (EvalReport, error) {
+	if len(test) == 0 {
+		return EvalReport{}, fmt.Errorf("somospie: empty test set")
+	}
+	var sumSq, sumAbs, sumY, sumY2 float64
+	for _, s := range test {
+		pred := m.Predict(s.X, s.Y, s.Cov)
+		d := pred - s.Value
+		sumSq += d * d
+		sumAbs += math.Abs(d)
+		sumY += s.Value
+		sumY2 += s.Value * s.Value
+	}
+	n := float64(len(test))
+	meanY := sumY / n
+	ssTot := sumY2 - n*meanY*meanY
+	r2 := 0.0
+	if ssTot > 0 {
+		r2 = 1 - sumSq/ssTot
+	}
+	return EvalReport{
+		Model: m.Name(),
+		N:     len(test),
+		RMSE:  math.Sqrt(sumSq / n),
+		MAE:   sumAbs / n,
+		R2:    r2,
+	}, nil
+}

@@ -1,0 +1,379 @@
+package somospie
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nsdfgo/internal/dem"
+	"nsdfgo/internal/geotiled"
+	"nsdfgo/internal/raster"
+)
+
+// terrainFixture builds aligned elevation/slope/aspect grids and a
+// synthetic truth field.
+func terrainFixture(t *testing.T, w, h int, seed uint64) (elev, slope, aspect, truth *raster.Grid) {
+	t.Helper()
+	elev = dem.Scale(dem.FBM(w, h, seed, dem.DefaultFBM()), 100, 1800)
+	var err error
+	slope, err = geotiled.Compute(elev, geotiled.Slope, geotiled.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aspect, err = geotiled.Compute(elev, geotiled.Aspect, geotiled.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err = SyntheticTruth(elev, slope, aspect, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return elev, slope, aspect, truth
+}
+
+func TestSyntheticTruthPhysicalRange(t *testing.T) {
+	_, _, _, truth := terrainFixture(t, 64, 64, 1)
+	lo, hi, ok := truth.MinMax()
+	if !ok {
+		t.Fatal("no data")
+	}
+	if lo < 0.02 || hi > 0.55 {
+		t.Errorf("moisture range [%v,%v] outside physical bounds", lo, hi)
+	}
+}
+
+func TestSyntheticTruthRespondsToTerrain(t *testing.T) {
+	elev, slope, aspect, truth := terrainFixture(t, 96, 96, 2)
+	_ = aspect
+	// Correlation between moisture and elevation must be negative.
+	corr := pearson(truth.Data, elev.Data)
+	if corr >= -0.2 {
+		t.Errorf("moisture-elevation correlation %v, want clearly negative", corr)
+	}
+	if c := pearson(truth.Data, slope.Data); c >= 0 {
+		t.Errorf("moisture-slope correlation %v, want negative", c)
+	}
+}
+
+func pearson(a, b []float32) float64 {
+	n := float64(len(a))
+	var sa, sb, saa, sbb, sab float64
+	for i := range a {
+		x, y := float64(a[i]), float64(b[i])
+		sa += x
+		sb += y
+		saa += x * x
+		sbb += y * y
+		sab += x * y
+	}
+	cov := sab/n - sa/n*sb/n
+	va := saa/n - sa/n*sa/n
+	vb := sbb/n - sb/n*sb/n
+	return cov / math.Sqrt(va*vb)
+}
+
+func TestDrawSamples(t *testing.T) {
+	elev, slope, aspect, truth := terrainFixture(t, 48, 48, 3)
+	samples, err := DrawSamples(truth, []*raster.Grid{elev, slope, aspect}, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 200 {
+		t.Fatalf("drew %d", len(samples))
+	}
+	seen := map[[2]int]bool{}
+	for _, s := range samples {
+		key := [2]int{int(s.X), int(s.Y)}
+		if seen[key] {
+			t.Fatalf("duplicate sample at %v", key)
+		}
+		seen[key] = true
+		if len(s.Cov) != 3 {
+			t.Fatalf("covariates %d", len(s.Cov))
+		}
+		if s.Value != float64(truth.At(int(s.X), int(s.Y))) {
+			t.Fatal("sample value does not match truth")
+		}
+	}
+}
+
+func TestDrawSamplesValidation(t *testing.T) {
+	elev, slope, aspect, truth := terrainFixture(t, 8, 8, 3)
+	covs := []*raster.Grid{elev, slope, aspect}
+	if _, err := DrawSamples(truth, covs, 0, 1); err == nil {
+		t.Error("zero samples accepted")
+	}
+	if _, err := DrawSamples(truth, covs, 65, 1); err == nil {
+		t.Error("oversubscription accepted")
+	}
+	bad := raster.New(4, 4)
+	if _, err := DrawSamples(truth, []*raster.Grid{bad}, 5, 1); err == nil {
+		t.Error("misaligned covariates accepted")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	samples := make([]Sample, 100)
+	for i := range samples {
+		samples[i].Value = float64(i)
+	}
+	train, test, err := Split(samples, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(test) != 20 || len(train) != 80 {
+		t.Fatalf("split %d/%d", len(train), len(test))
+	}
+	// Deterministic by seed.
+	train2, test2, _ := Split(samples, 0.2, 1)
+	if train[0].Value != train2[0].Value || test[0].Value != test2[0].Value {
+		t.Error("same-seed split differs")
+	}
+	if _, _, err := Split(samples, 0, 1); err == nil {
+		t.Error("zero fraction accepted")
+	}
+	if _, _, err := Split(samples[:1], 0.2, 1); err == nil {
+		t.Error("degenerate split accepted")
+	}
+}
+
+func TestKNNExactOnTrainingPoints(t *testing.T) {
+	// With K=1, predicting at a training covariate vector returns its value.
+	samples := []Sample{
+		{X: 0, Y: 0, Cov: []float64{100, 5, 90}, Value: 0.30},
+		{X: 1, Y: 1, Cov: []float64{900, 30, 180}, Value: 0.10},
+		{X: 2, Y: 2, Cov: []float64{400, 10, 0}, Value: 0.22},
+	}
+	m := &KNN{K: 1}
+	if err := m.Fit(samples); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if got := m.Predict(s.X, s.Y, s.Cov); math.Abs(got-s.Value) > 1e-9 {
+			t.Errorf("predict at training point: %v, want %v", got, s.Value)
+		}
+	}
+}
+
+func TestKNNValidation(t *testing.T) {
+	m := &KNN{}
+	if err := m.Fit(nil); err == nil {
+		t.Error("empty fit accepted")
+	}
+	bad := []Sample{{Cov: []float64{1}}, {Cov: []float64{1, 2}}}
+	if err := m.Fit(bad); err == nil {
+		t.Error("ragged covariates accepted")
+	}
+}
+
+func TestIDWExactHitAndDistanceDecay(t *testing.T) {
+	samples := []Sample{
+		{X: 0, Y: 0, Value: 1},
+		{X: 10, Y: 0, Value: 0},
+	}
+	m := &IDW{Power: 2}
+	if err := m.Fit(samples); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict(0, 0, nil); got != 1 {
+		t.Errorf("exact hit = %v", got)
+	}
+	near := m.Predict(1, 0, nil)
+	far := m.Predict(9, 0, nil)
+	if near <= far {
+		t.Errorf("IDW not decaying: near=%v far=%v", near, far)
+	}
+	if near < 0 || near > 1 {
+		t.Errorf("IDW outside sample hull: %v", near)
+	}
+}
+
+func TestLinearRecoversKnownCoefficients(t *testing.T) {
+	// y = 2 + 3*c0 - 0.5*c1, exactly.
+	var samples []Sample
+	for i := 0; i < 50; i++ {
+		c0 := float64(i % 7)
+		c1 := float64(i % 11)
+		samples = append(samples, Sample{Cov: []float64{c0, c1}, Value: 2 + 3*c0 - 0.5*c1})
+	}
+	m := &Linear{}
+	if err := m.Fit(samples); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Predict(0, 0, []float64{4, 2})
+	want := 2.0 + 12 - 1
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("ols predict = %v, want %v", got, want)
+	}
+}
+
+func TestLinearValidation(t *testing.T) {
+	m := &Linear{}
+	if err := m.Fit(nil); err == nil {
+		t.Error("empty fit accepted")
+	}
+	if err := m.Fit([]Sample{{Cov: []float64{1, 2}}}); err == nil {
+		t.Error("underdetermined fit accepted")
+	}
+}
+
+func TestSolveLinearSystem(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := solveLinearSystem(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("solution %v, want [1 3]", x)
+	}
+	if _, err := solveLinearSystem([][]float64{{0, 0}, {0, 0}}, []float64{1, 1}); err == nil {
+		t.Error("singular system solved")
+	}
+}
+
+func TestEndToEndInferenceBeatssMean(t *testing.T) {
+	// The headline SOMOSPIE property: terrain-aware kNN beats the mean
+	// predictor (R2 > 0) on held-out points.
+	elev, slope, aspect, truth := terrainFixture(t, 96, 96, 11)
+	covs := []*raster.Grid{elev, slope, aspect}
+	samples, err := DrawSamples(truth, covs, 800, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := Split(samples, 0.25, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Model{&KNN{K: 5}, &IDW{Power: 2}, &Linear{}} {
+		if err := m.Fit(train); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		rep, err := Evaluate(m, test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.R2 <= 0 {
+			t.Errorf("%s: R2 = %v, no skill over the mean", m.Name(), rep.R2)
+		}
+		if rep.RMSE <= 0 || rep.RMSE > 0.2 {
+			t.Errorf("%s: RMSE = %v outside plausible band", m.Name(), rep.RMSE)
+		}
+	}
+}
+
+func TestKNNOutperformsPureSpatialIDWOnTerrainDrivenField(t *testing.T) {
+	// Moisture here is terrain-driven; covariate-space kNN should beat
+	// spatial IDW — the comparison motivating SOMOSPIE's design.
+	elev, slope, aspect, truth := terrainFixture(t, 96, 96, 21)
+	covs := []*raster.Grid{elev, slope, aspect}
+	samples, err := DrawSamples(truth, covs, 600, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := Split(samples, 0.25, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	knn := &KNN{K: 5}
+	knn.Fit(train)
+	idw := &IDW{Power: 2}
+	idw.Fit(train)
+	knnRep, _ := Evaluate(knn, test)
+	idwRep, _ := Evaluate(idw, test)
+	if knnRep.RMSE >= idwRep.RMSE {
+		t.Errorf("kNN RMSE %v not below IDW RMSE %v on terrain-driven field", knnRep.RMSE, idwRep.RMSE)
+	}
+}
+
+func TestPredictGrid(t *testing.T) {
+	elev, slope, aspect, truth := terrainFixture(t, 48, 48, 31)
+	covs := []*raster.Grid{elev, slope, aspect}
+	samples, err := DrawSamples(truth, covs, 400, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &KNN{K: 5}
+	if err := m.Fit(samples); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := PredictGrid(m, covs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.W != 48 || pred.H != 48 {
+		t.Fatalf("prediction dims %dx%d", pred.W, pred.H)
+	}
+	// Gridded prediction must correlate strongly with truth.
+	if c := pearson(pred.Data, truth.Data); c < 0.6 {
+		t.Errorf("prediction-truth correlation %v", c)
+	}
+}
+
+func TestPredictGridPropagatesNodata(t *testing.T) {
+	elev, slope, aspect, truth := terrainFixture(t, 16, 16, 41)
+	covs := []*raster.Grid{elev, slope, aspect}
+	samples, _ := DrawSamples(truth, covs, 50, 2)
+	m := &KNN{K: 3}
+	m.Fit(samples)
+	elev.Set(5, 5, float32(math.NaN()))
+	pred, err := PredictGrid(m, covs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(float64(pred.At(5, 5))) {
+		t.Error("nodata pixel predicted")
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	m := &KNN{K: 1}
+	m.Fit([]Sample{{Cov: []float64{1}, Value: 1}})
+	if _, err := Evaluate(m, nil); err == nil {
+		t.Error("empty test set accepted")
+	}
+}
+
+func TestKNNPredictionWithinHullProperty(t *testing.T) {
+	// A weighted mean of training values can never leave their range.
+	samples := []Sample{
+		{Cov: []float64{0, 0}, Value: 0.1},
+		{Cov: []float64{1, 0}, Value: 0.2},
+		{Cov: []float64{0, 1}, Value: 0.3},
+		{Cov: []float64{1, 1}, Value: 0.4},
+	}
+	m := &KNN{K: 3}
+	if err := m.Fit(samples); err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		v := m.Predict(0, 0, []float64{math.Mod(math.Abs(a), 2), math.Mod(math.Abs(b), 2)})
+		return v >= 0.1-1e-9 && v <= 0.4+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkKNNPredictGrid(b *testing.B) {
+	elev := dem.Scale(dem.FBM(64, 64, 1, dem.DefaultFBM()), 100, 1800)
+	slope, _ := geotiled.Compute(elev, geotiled.Slope, geotiled.Options{})
+	aspect, _ := geotiled.Compute(elev, geotiled.Aspect, geotiled.Options{})
+	truth, _ := SyntheticTruth(elev, slope, aspect, 1)
+	covs := []*raster.Grid{elev, slope, aspect}
+	samples, _ := DrawSamples(truth, covs, 300, 2)
+	m := &KNN{K: 5}
+	if err := m.Fit(samples); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PredictGrid(m, covs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

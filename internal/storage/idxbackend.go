@@ -1,0 +1,55 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"strings"
+
+	"nsdfgo/internal/idx"
+)
+
+// IDXBackend adapts a Store to the idx.Backend interface, optionally
+// rooting the dataset at a key prefix so many datasets can share one
+// store (e.g. "datasets/tennessee_30m/"). This is how the conversion and
+// dashboard services place IDX data on Seal Storage or Dataverse-backed
+// object stores.
+type IDXBackend struct {
+	store  Store
+	prefix string
+}
+
+// NewIDXBackend roots an idx backend at prefix within store. A non-empty
+// prefix is normalised to end with "/".
+func NewIDXBackend(store Store, prefix string) *IDXBackend {
+	if prefix != "" && !strings.HasSuffix(prefix, "/") {
+		prefix += "/"
+	}
+	return &IDXBackend{store: store, prefix: prefix}
+}
+
+// Get implements idx.Backend.
+func (b *IDXBackend) Get(name string) ([]byte, error) {
+	data, err := b.store.Get(context.Background(), b.prefix+name)
+	if errors.Is(err, ErrNotExist) {
+		return nil, &idx.NotExistError{Name: name}
+	}
+	return data, err
+}
+
+// Put implements idx.Backend.
+func (b *IDXBackend) Put(name string, data []byte) error {
+	return b.store.Put(context.Background(), b.prefix+name, data)
+}
+
+// List implements idx.Backend.
+func (b *IDXBackend) List(prefix string) ([]string, error) {
+	infos, err := b.store.List(context.Background(), b.prefix+prefix)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(infos))
+	for _, info := range infos {
+		names = append(names, strings.TrimPrefix(info.Key, b.prefix))
+	}
+	return names, nil
+}

@@ -1,0 +1,65 @@
+package storage
+
+import (
+	"context"
+	"testing"
+
+	"nsdfgo/internal/idx"
+	"nsdfgo/internal/raster"
+)
+
+func TestIDXBackendRoundTrip(t *testing.T) {
+	store := NewMemStore()
+	be := NewIDXBackend(store, "datasets/tn")
+	meta, err := idx.NewMeta([]int{32, 32}, []idx.Field{{Name: "elevation", Type: idx.Float32, Codec: "zlib"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := idx.Create(be, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := raster.New(32, 32)
+	for i := range g.Data {
+		g.Data[i] = float32(i)
+	}
+	if err := ds.WriteGrid("elevation", 0, g); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen through a second backend instance.
+	ds2, err := idx.Open(NewIDXBackend(store, "datasets/tn/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := ds2.ReadFull("elevation", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !raster.Equal(g, out) {
+		t.Error("round trip through store-backed dataset failed")
+	}
+}
+
+func TestIDXBackendMissingMapsToNotExist(t *testing.T) {
+	be := NewIDXBackend(NewMemStore(), "p")
+	if _, err := be.Get("nope"); !idx.IsNotExist(err) {
+		t.Errorf("missing object error = %v", err)
+	}
+}
+
+func TestIDXBackendListStripsPrefix(t *testing.T) {
+	store := NewMemStore()
+	be := NewIDXBackend(store, "root")
+	if err := be.Put("fields/a/b1", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	names, err := be.List("fields/")
+	if err != nil || len(names) != 1 || names[0] != "fields/a/b1" {
+		t.Fatalf("List = %v, %v", names, err)
+	}
+	// Underlying store key carries the prefix.
+	infos, _ := store.List(context.Background(), "root/")
+	if len(infos) != 1 {
+		t.Fatalf("store keys: %+v", infos)
+	}
+}

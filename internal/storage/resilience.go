@@ -1,0 +1,204 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrTransient marks an injected or retryable failure.
+var ErrTransient = errors.New("storage: transient failure")
+
+// Flaky wraps a Store and injects transient failures at a configured
+// rate, for testing the resilience of the services layered above
+// (wide-area object stores fail routinely; the NSDF services must shrug
+// it off). Failures are deterministic in the seed.
+type Flaky struct {
+	inner Store
+	rate  float64
+	mu    sync.Mutex
+	rng   *rand.Rand
+
+	injected int64
+}
+
+// NewFlaky wraps inner, failing roughly rate (0..1) of operations with
+// ErrTransient.
+func NewFlaky(inner Store, rate float64, seed int64) *Flaky {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return &Flaky{inner: inner, rate: rate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Injected reports how many failures were injected.
+func (f *Flaky) Injected() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+func (f *Flaky) trip(op, key string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.rng.Float64() < f.rate {
+		f.injected++
+		return fmt.Errorf("%w: injected on %s %q", ErrTransient, op, key)
+	}
+	return nil
+}
+
+// Put implements Store.
+func (f *Flaky) Put(ctx context.Context, key string, data []byte) error {
+	if err := f.trip("put", key); err != nil {
+		return err
+	}
+	return f.inner.Put(ctx, key, data)
+}
+
+// Get implements Store.
+func (f *Flaky) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := f.trip("get", key); err != nil {
+		return nil, err
+	}
+	return f.inner.Get(ctx, key)
+}
+
+// Delete implements Store.
+func (f *Flaky) Delete(ctx context.Context, key string) error {
+	if err := f.trip("delete", key); err != nil {
+		return err
+	}
+	return f.inner.Delete(ctx, key)
+}
+
+// Stat implements Store.
+func (f *Flaky) Stat(ctx context.Context, key string) (ObjectInfo, error) {
+	if err := f.trip("stat", key); err != nil {
+		return ObjectInfo{}, err
+	}
+	return f.inner.Stat(ctx, key)
+}
+
+// List implements Store.
+func (f *Flaky) List(ctx context.Context, prefix string) ([]ObjectInfo, error) {
+	if err := f.trip("list", prefix); err != nil {
+		return nil, err
+	}
+	return f.inner.List(ctx, prefix)
+}
+
+// Retry wraps a Store with bounded exponential-backoff retries on
+// transient failures. Permanent errors (ErrNotExist, ErrUnauthorized,
+// context cancellation) are returned immediately.
+type Retry struct {
+	inner Store
+	// Attempts is the maximum number of tries per operation (>= 1).
+	Attempts int
+	// BaseDelay is the first backoff; it doubles per retry. Zero disables
+	// sleeping (pure retry), which keeps tests fast.
+	BaseDelay time.Duration
+
+	mu      sync.Mutex
+	retries int64
+}
+
+// NewRetry wraps inner with up to attempts tries per operation.
+func NewRetry(inner Store, attempts int, baseDelay time.Duration) *Retry {
+	if attempts < 1 {
+		attempts = 1
+	}
+	return &Retry{inner: inner, Attempts: attempts, BaseDelay: baseDelay}
+}
+
+// Retries reports how many retries were performed.
+func (r *Retry) Retries() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.retries
+}
+
+// permanent reports whether err must not be retried.
+func permanent(err error) bool {
+	return errors.Is(err, ErrNotExist) ||
+		errors.Is(err, ErrUnauthorized) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// do runs op with retries.
+func (r *Retry) do(ctx context.Context, op func() error) error {
+	var err error
+	delay := r.BaseDelay
+	for attempt := 0; attempt < r.Attempts; attempt++ {
+		if attempt > 0 {
+			r.mu.Lock()
+			r.retries++
+			r.mu.Unlock()
+			if delay > 0 {
+				t := time.NewTimer(delay)
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					return ctx.Err()
+				case <-t.C:
+				}
+				delay *= 2
+			}
+		}
+		err = op()
+		if err == nil || permanent(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("storage: giving up after %d attempts: %w", r.Attempts, err)
+}
+
+// Put implements Store.
+func (r *Retry) Put(ctx context.Context, key string, data []byte) error {
+	return r.do(ctx, func() error { return r.inner.Put(ctx, key, data) })
+}
+
+// Get implements Store.
+func (r *Retry) Get(ctx context.Context, key string) ([]byte, error) {
+	var out []byte
+	err := r.do(ctx, func() error {
+		var err error
+		out, err = r.inner.Get(ctx, key)
+		return err
+	})
+	return out, err
+}
+
+// Delete implements Store.
+func (r *Retry) Delete(ctx context.Context, key string) error {
+	return r.do(ctx, func() error { return r.inner.Delete(ctx, key) })
+}
+
+// Stat implements Store.
+func (r *Retry) Stat(ctx context.Context, key string) (ObjectInfo, error) {
+	var out ObjectInfo
+	err := r.do(ctx, func() error {
+		var err error
+		out, err = r.inner.Stat(ctx, key)
+		return err
+	})
+	return out, err
+}
+
+// List implements Store.
+func (r *Retry) List(ctx context.Context, prefix string) ([]ObjectInfo, error) {
+	var out []ObjectInfo
+	err := r.do(ctx, func() error {
+		var err error
+		out, err = r.inner.List(ctx, prefix)
+		return err
+	})
+	return out, err
+}

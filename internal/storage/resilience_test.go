@@ -1,0 +1,197 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"nsdfgo/internal/idx"
+	"nsdfgo/internal/raster"
+)
+
+func TestFlakyInjectsAtRate(t *testing.T) {
+	ctx := context.Background()
+	inner := NewMemStore()
+	inner.Put(ctx, "k", []byte("v"))
+	f := NewFlaky(inner, 0.5, 1)
+	failures := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if _, err := f.Get(ctx, "k"); err != nil {
+			if !errors.Is(err, ErrTransient) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			failures++
+		}
+	}
+	if failures < n/3 || failures > 2*n/3 {
+		t.Errorf("injected %d of %d at rate 0.5", failures, n)
+	}
+	if f.Injected() != int64(failures) {
+		t.Errorf("Injected() = %d, observed %d", f.Injected(), failures)
+	}
+}
+
+func TestFlakyRateZeroAndOne(t *testing.T) {
+	ctx := context.Background()
+	inner := NewMemStore()
+	inner.Put(ctx, "k", []byte("v"))
+	never := NewFlaky(inner, 0, 1)
+	for i := 0; i < 50; i++ {
+		if _, err := never.Get(ctx, "k"); err != nil {
+			t.Fatalf("rate 0 failed: %v", err)
+		}
+	}
+	always := NewFlaky(inner, 1, 1)
+	if _, err := always.Get(ctx, "k"); err == nil {
+		t.Error("rate 1 succeeded")
+	}
+	// Rates are clamped.
+	if NewFlaky(inner, -5, 1).rate != 0 || NewFlaky(inner, 9, 1).rate != 1 {
+		t.Error("rate not clamped")
+	}
+}
+
+func TestFlakyDeterministicBySeed(t *testing.T) {
+	ctx := context.Background()
+	inner := NewMemStore()
+	inner.Put(ctx, "k", []byte("v"))
+	pattern := func(seed int64) []bool {
+		f := NewFlaky(inner, 0.5, seed)
+		var out []bool
+		for i := 0; i < 50; i++ {
+			_, err := f.Get(ctx, "k")
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	a, b := pattern(9), pattern(9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRetryRecoversFromTransients(t *testing.T) {
+	ctx := context.Background()
+	inner := NewMemStore()
+	inner.Put(ctx, "k", []byte("payload"))
+	flaky := NewFlaky(inner, 0.5, 3)
+	r := NewRetry(flaky, 15, 0)
+	for i := 0; i < 200; i++ {
+		data, err := r.Get(ctx, "k")
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if string(data) != "payload" {
+			t.Fatal("wrong payload")
+		}
+	}
+	if r.Retries() == 0 {
+		t.Error("no retries recorded despite 50% failure rate")
+	}
+}
+
+func TestRetryGivesUpEventually(t *testing.T) {
+	ctx := context.Background()
+	r := NewRetry(NewFlaky(NewMemStore(), 1, 1), 3, 0)
+	err := r.Put(ctx, "k", []byte("v"))
+	if err == nil {
+		t.Fatal("always-failing store succeeded")
+	}
+	if !errors.Is(err, ErrTransient) {
+		t.Errorf("error lost its cause: %v", err)
+	}
+}
+
+func TestRetryDoesNotRetryPermanentErrors(t *testing.T) {
+	ctx := context.Background()
+	r := NewRetry(NewMemStore(), 5, 0)
+	if _, err := r.Get(ctx, "missing"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("err = %v", err)
+	}
+	if r.Retries() != 0 {
+		t.Errorf("retried a permanent error %d times", r.Retries())
+	}
+}
+
+func TestRetryHonoursContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := NewRetry(NewFlaky(NewMemStore(), 1, 1), 5, 1)
+	if err := r.Put(ctx, "k", []byte("v")); err == nil {
+		t.Error("cancelled retry succeeded")
+	}
+}
+
+func TestIDXOverFlakyStoreWithRetry(t *testing.T) {
+	// End-to-end resilience: an IDX dataset on a 20%-flaky store behind
+	// retries must read back perfectly.
+	ctx := context.Background()
+	_ = ctx
+	inner := NewMemStore()
+	resilient := NewRetry(NewFlaky(inner, 0.2, 11), 10, 0)
+	be := NewIDXBackend(resilient, "flaky-ds")
+	meta, err := idx.NewMeta([]int{64, 64}, []idx.Field{{Name: "elevation", Type: idx.Float32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta.BitsPerBlock = 8
+	ds, err := idx.Create(be, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := raster.New(64, 64)
+	for i := range g.Data {
+		g.Data[i] = float32(i)
+	}
+	if err := ds.WriteGrid("elevation", 0, g); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		out, _, err := ds.ReadFull("elevation", 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !raster.Equal(g, out) {
+			t.Fatalf("trial %d: data corrupted", trial)
+		}
+	}
+}
+
+func TestRetryStoreConformance(t *testing.T) {
+	// The Retry wrapper must behave like a plain store when nothing fails.
+	ctx := context.Background()
+	s := NewRetry(NewMemStore(), 3, 0)
+	if err := s.Put(ctx, "a/b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := s.List(ctx, "a/")
+	if err != nil || len(infos) != 1 {
+		t.Fatalf("List: %v, %v", infos, err)
+	}
+	info, err := s.Stat(ctx, "a/b")
+	if err != nil || info.Size != 1 {
+		t.Fatalf("Stat: %+v, %v", info, err)
+	}
+	if err := s.Delete(ctx, "a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ctx, "a/b"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Get after delete: %v", err)
+	}
+}
+
+func BenchmarkRetryOverhead(b *testing.B) {
+	ctx := context.Background()
+	inner := NewMemStore()
+	inner.Put(ctx, "k", make([]byte, 4096))
+	r := NewRetry(inner, 3, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Get(ctx, "k"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package survey
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseResponsesCSV ingests a survey export in the common one-row-per-
+// respondent layout: a header row naming the questions (matched against
+// qs by ID, e.g. "a" or "Q-a", or by exact text), then one Likert answer
+// per cell. Answers may be the level labels ("Strongly agree", case- and
+// whitespace-insensitive) or the numeric codes 1..5. Empty cells are
+// skipped (partial responses are kept).
+//
+// This is the ingestion path a real tutorial session uses: export the
+// response sheet, feed it here, render Fig. 8 from the distributions.
+func ParseResponsesCSV(r io.Reader, qs []Question) ([]Distribution, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // ragged rows tolerated; validated below
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("survey: csv header: %w", err)
+	}
+	// Map CSV columns to question indices.
+	colToQ := make([]int, len(header))
+	for i := range colToQ {
+		colToQ[i] = -1
+	}
+	matched := 0
+	for col, name := range header {
+		key := strings.TrimSpace(name)
+		for qi, q := range qs {
+			if matchesQuestion(key, q) {
+				colToQ[col] = qi
+				matched++
+				break
+			}
+		}
+	}
+	if matched == 0 {
+		return nil, fmt.Errorf("survey: no CSV columns match the %d questions", len(qs))
+	}
+
+	dists := make([]Distribution, len(qs))
+	for qi, q := range qs {
+		dists[qi].Question = q
+	}
+	row := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("survey: csv row %d: %w", row+1, err)
+		}
+		row++
+		for col, cell := range rec {
+			if col >= len(colToQ) || colToQ[col] < 0 {
+				continue
+			}
+			cell = strings.TrimSpace(cell)
+			if cell == "" {
+				continue
+			}
+			level, err := ParseLevel(cell)
+			if err != nil {
+				return nil, fmt.Errorf("survey: csv row %d column %q: %w", row, header[col], err)
+			}
+			dists[colToQ[col]].Counts[level]++
+		}
+	}
+	return dists, nil
+}
+
+// matchesQuestion reports whether a CSV header cell refers to q: by ID
+// ("a"), by a conventional prefix ("Q-a", "q_a", "(a)"), or by the full
+// statement text.
+func matchesQuestion(header string, q Question) bool {
+	h := strings.ToLower(strings.TrimSpace(header))
+	id := strings.ToLower(q.ID)
+	switch h {
+	case id, "q-" + id, "q_" + id, "q" + id, "(" + id + ")":
+		return true
+	}
+	return strings.EqualFold(strings.TrimSpace(header), q.Text)
+}
+
+// ParseLevel converts a CSV cell to a Likert level: the label ("Agree"),
+// a compact form ("strongly_agree"), or the numeric code 1..5.
+func ParseLevel(s string) (Level, error) {
+	t := strings.ToLower(strings.TrimSpace(s))
+	t = strings.NewReplacer("_", " ", "-", " ").Replace(t)
+	switch t {
+	case "1", "strongly disagree":
+		return StronglyDisagree, nil
+	case "2", "disagree":
+		return Disagree, nil
+	case "3", "neutral", "neither agree nor disagree":
+		return Neutral, nil
+	case "4", "agree":
+		return Agree, nil
+	case "5", "strongly agree":
+		return StronglyAgree, nil
+	}
+	return 0, fmt.Errorf("survey: unrecognised response %q", s)
+}
+
+// RenderAllCharts renders every distribution, Fig. 8 style.
+func RenderAllCharts(dists []Distribution, width int) string {
+	var sb strings.Builder
+	for i := range dists {
+		sb.WriteString(RenderChart(&dists[i], width))
+	}
+	return sb.String()
+}

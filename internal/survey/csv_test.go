@@ -1,0 +1,96 @@
+package survey
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `respondent,Q-a,Q-b,Q-c,Q-d
+r1,Strongly agree,Agree,5,4
+r2,agree,Agree,Neutral,Strongly agree
+r3,STRONGLY AGREE,strongly_agree,4,
+r4,2,Neutral,Strongly disagree,5
+`
+
+func TestParseResponsesCSV(t *testing.T) {
+	dists, err := ParseResponsesCSV(strings.NewReader(sampleCSV), Fig8Questions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dists) != 4 {
+		t.Fatalf("%d distributions", len(dists))
+	}
+	a := dists[0] // Q-a: SA, A, SA, D
+	if a.Counts[StronglyAgree] != 2 || a.Counts[Agree] != 1 || a.Counts[Disagree] != 1 {
+		t.Errorf("Q-a counts %v", a.Counts)
+	}
+	if a.N() != 4 {
+		t.Errorf("Q-a n=%d", a.N())
+	}
+	d := dists[3] // Q-d: 4, SA, <empty>, 5
+	if d.N() != 3 {
+		t.Errorf("Q-d n=%d (empty cell must be skipped)", d.N())
+	}
+	if d.Counts[StronglyAgree] != 2 || d.Counts[Agree] != 1 {
+		t.Errorf("Q-d counts %v", d.Counts)
+	}
+}
+
+func TestParseResponsesCSVByFullText(t *testing.T) {
+	qs := Fig8Questions()
+	csvData := "\"" + qs[0].Text + "\"\nAgree\nNeutral\n"
+	dists, err := ParseResponsesCSV(strings.NewReader(csvData), qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dists[0].N() != 2 {
+		t.Errorf("n=%d", dists[0].N())
+	}
+}
+
+func TestParseResponsesCSVErrors(t *testing.T) {
+	qs := Fig8Questions()
+	cases := map[string]string{
+		"no header match": "who,what\nx,y\n",
+		"bad level":       "Q-a\nmaybe\n",
+		"empty":           "",
+	}
+	for name, data := range cases {
+		if _, err := ParseResponsesCSV(strings.NewReader(data), qs); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]Level{
+		"1": StronglyDisagree, "5": StronglyAgree,
+		"Strongly Agree": StronglyAgree, "strongly_agree": StronglyAgree,
+		" neutral ": Neutral, "neither agree nor disagree": Neutral,
+		"strongly-disagree": StronglyDisagree,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "6", "0", "yes"} {
+		if _, err := ParseLevel(bad); err == nil {
+			t.Errorf("ParseLevel(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCSVRoundTripThroughCharts(t *testing.T) {
+	dists, err := ParseResponsesCSV(strings.NewReader(sampleCSV), Fig8Questions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderAllCharts(dists, 20)
+	for _, want := range []string{"(a)", "(b)", "(c)", "(d)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("charts missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,376 @@
+// Package tiff implements a from-scratch baseline TIFF 6.0 reader and
+// writer for the single-band scientific rasters handled in steps 1-3 of
+// the NSDF tutorial workflow, including the GeoTIFF georeferencing tags
+// (ModelPixelScale, ModelTiepoint) written by GEOtiled.
+//
+// Supported images are single-sample-per-pixel, strip-organised, with
+// 8/16/32-bit unsigned, 16-bit signed, or 32/64-bit IEEE floating point
+// samples, uncompressed or Deflate-compressed (compression tag 8). Both
+// little- and big-endian files can be read; the writer emits little-endian.
+package tiff
+
+import (
+	"bytes"
+	"compress/zlib"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"nsdfgo/internal/raster"
+)
+
+// DType enumerates the sample types this package supports.
+type DType int
+
+// Supported sample types.
+const (
+	Uint8 DType = iota
+	Uint16
+	Uint32
+	Int16
+	Float32
+	Float64
+)
+
+// Size returns the sample size in bytes.
+func (d DType) Size() int {
+	switch d {
+	case Uint8:
+		return 1
+	case Uint16, Int16:
+		return 2
+	case Uint32, Float32:
+		return 4
+	case Float64:
+		return 8
+	}
+	panic(fmt.Sprintf("tiff: invalid DType %d", int(d)))
+}
+
+// String returns the conventional name of the sample type.
+func (d DType) String() string {
+	switch d {
+	case Uint8:
+		return "uint8"
+	case Uint16:
+		return "uint16"
+	case Uint32:
+		return "uint32"
+	case Int16:
+		return "int16"
+	case Float32:
+		return "float32"
+	case Float64:
+		return "float64"
+	}
+	return fmt.Sprintf("DType(%d)", int(d))
+}
+
+// sampleFormat returns the TIFF SampleFormat value for the type.
+func (d DType) sampleFormat() uint16 {
+	switch d {
+	case Uint8, Uint16, Uint32:
+		return 1 // unsigned integer
+	case Int16:
+		return 2 // signed integer
+	case Float32, Float64:
+		return 3 // IEEE float
+	}
+	panic("tiff: invalid DType")
+}
+
+// Image is a decoded single-band TIFF raster. Pix holds samples in native
+// little-endian byte order, row-major.
+type Image struct {
+	// Width and Height are the raster dimensions.
+	Width, Height int
+	// Type is the sample type.
+	Type DType
+	// Pix holds Width*Height samples of Type, little-endian, row-major.
+	Pix []byte
+	// Geo carries GeoTIFF georeferencing when present.
+	Geo *raster.Georef
+}
+
+// TIFF tag ids used by this package.
+const (
+	tagImageWidth      = 256
+	tagImageLength     = 257
+	tagBitsPerSample   = 258
+	tagCompression     = 259
+	tagPhotometric     = 262
+	tagStripOffsets    = 273
+	tagSamplesPerPixel = 277
+	tagRowsPerStrip    = 278
+	tagStripByteCounts = 279
+	tagSampleFormat    = 339
+	tagModelPixelScale = 33550
+	tagModelTiepoint   = 33922
+)
+
+// TIFF field types.
+const (
+	typeByte     = 1
+	typeASCII    = 2
+	typeShort    = 3
+	typeLong     = 4
+	typeRational = 5
+	typeDouble   = 12
+)
+
+// Compression values.
+const (
+	// CompressionNone stores strips raw.
+	CompressionNone = 1
+	// CompressionDeflate stores strips as zlib streams (Adobe deflate, tag 8).
+	CompressionDeflate = 8
+)
+
+// EncodeOptions controls Encode.
+type EncodeOptions struct {
+	// Compression is CompressionNone (default when zero... the zero value
+	// 0 is normalised to CompressionNone) or CompressionDeflate.
+	Compression int
+	// RowsPerStrip bounds strip height; <= 0 selects a strip size of about
+	// 64 KiB, matching common GeoTIFF writers.
+	RowsPerStrip int
+}
+
+// FromGrid converts a raster grid to a Float32 image, carrying its
+// georeferencing.
+func FromGrid(g *raster.Grid) *Image {
+	pix := make([]byte, 4*len(g.Data))
+	for i, v := range g.Data {
+		binary.LittleEndian.PutUint32(pix[4*i:], math.Float32bits(v))
+	}
+	im := &Image{Width: g.W, Height: g.H, Type: Float32, Pix: pix}
+	if g.Geo != nil {
+		geo := *g.Geo
+		im.Geo = &geo
+	}
+	return im
+}
+
+// Grid converts the image's samples to a float32 raster grid.
+func (im *Image) Grid() *raster.Grid {
+	g := raster.New(im.Width, im.Height)
+	n := im.Width * im.Height
+	sz := im.Type.Size()
+	for i := 0; i < n; i++ {
+		off := i * sz
+		switch im.Type {
+		case Uint8:
+			g.Data[i] = float32(im.Pix[off])
+		case Uint16:
+			g.Data[i] = float32(binary.LittleEndian.Uint16(im.Pix[off:]))
+		case Uint32:
+			g.Data[i] = float32(binary.LittleEndian.Uint32(im.Pix[off:]))
+		case Int16:
+			g.Data[i] = float32(int16(binary.LittleEndian.Uint16(im.Pix[off:])))
+		case Float32:
+			g.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(im.Pix[off:]))
+		case Float64:
+			g.Data[i] = float32(math.Float64frombits(binary.LittleEndian.Uint64(im.Pix[off:])))
+		}
+	}
+	if im.Geo != nil {
+		geo := *im.Geo
+		g.Geo = &geo
+	}
+	return g
+}
+
+// Validate checks the structural invariants of the image.
+func (im *Image) Validate() error {
+	if im.Width <= 0 || im.Height <= 0 {
+		return fmt.Errorf("tiff: invalid dimensions %dx%d", im.Width, im.Height)
+	}
+	want := im.Width * im.Height * im.Type.Size()
+	if len(im.Pix) != want {
+		return fmt.Errorf("tiff: pixel buffer is %d bytes, want %d for %dx%d %s", len(im.Pix), want, im.Width, im.Height, im.Type)
+	}
+	return nil
+}
+
+// ifdEntry is one directory entry of the written IFD.
+type ifdEntry struct {
+	tag   uint16
+	typ   uint16
+	count uint32
+	// value holds the raw little-endian value bytes (may exceed 4 bytes;
+	// the encoder relocates long values to an offset area).
+	value []byte
+}
+
+// Encode writes the image as a little-endian TIFF stream.
+func Encode(w io.Writer, im *Image, opts EncodeOptions) error {
+	if err := im.Validate(); err != nil {
+		return err
+	}
+	compression := opts.Compression
+	if compression == 0 {
+		compression = CompressionNone
+	}
+	if compression != CompressionNone && compression != CompressionDeflate {
+		return fmt.Errorf("tiff: unsupported compression %d", compression)
+	}
+	bytesPerRow := im.Width * im.Type.Size()
+	rowsPerStrip := opts.RowsPerStrip
+	if rowsPerStrip <= 0 {
+		rowsPerStrip = (64 << 10) / bytesPerRow
+		if rowsPerStrip < 1 {
+			rowsPerStrip = 1
+		}
+	}
+	if rowsPerStrip > im.Height {
+		rowsPerStrip = im.Height
+	}
+	if rowsPerStrip > math.MaxUint16 {
+		rowsPerStrip = math.MaxUint16 // RowsPerStrip is written as a SHORT
+	}
+	numStrips := (im.Height + rowsPerStrip - 1) / rowsPerStrip
+
+	// Compress strips.
+	strips := make([][]byte, numStrips)
+	for s := 0; s < numStrips; s++ {
+		y0 := s * rowsPerStrip
+		y1 := y0 + rowsPerStrip
+		if y1 > im.Height {
+			y1 = im.Height
+		}
+		raw := im.Pix[y0*bytesPerRow : y1*bytesPerRow]
+		if compression == CompressionNone {
+			strips[s] = raw
+		} else {
+			var buf bytes.Buffer
+			zw := zlib.NewWriter(&buf)
+			if _, err := zw.Write(raw); err != nil {
+				return fmt.Errorf("tiff: deflate strip %d: %w", s, err)
+			}
+			if err := zw.Close(); err != nil {
+				return fmt.Errorf("tiff: deflate strip %d: %w", s, err)
+			}
+			strips[s] = buf.Bytes()
+		}
+	}
+
+	// Layout: header (8) | strip data | IFD | overflow values.
+	const headerLen = 8
+	stripOffsets := make([]uint32, numStrips)
+	stripCounts := make([]uint32, numStrips)
+	off := uint32(headerLen)
+	for s, data := range strips {
+		stripOffsets[s] = off
+		stripCounts[s] = uint32(len(data))
+		off += uint32(len(data))
+	}
+	if off%2 == 1 { // IFD must be word-aligned
+		off++
+	}
+	ifdOffset := off
+
+	entries := []ifdEntry{
+		shortEntry(tagImageWidth, uint16(im.Width)),
+		shortEntry(tagImageLength, uint16(im.Height)),
+		shortEntry(tagBitsPerSample, uint16(8*im.Type.Size())),
+		shortEntry(tagCompression, uint16(compression)),
+		shortEntry(tagPhotometric, 1), // BlackIsZero
+		longArrayEntry(tagStripOffsets, stripOffsets),
+		shortEntry(tagSamplesPerPixel, 1),
+		shortEntry(tagRowsPerStrip, uint16(rowsPerStrip)),
+		longArrayEntry(tagStripByteCounts, stripCounts),
+		shortEntry(tagSampleFormat, im.Type.sampleFormat()),
+	}
+	if im.Width > math.MaxUint16 {
+		entries[0] = longEntry(tagImageWidth, uint32(im.Width))
+	}
+	if im.Height > math.MaxUint16 {
+		entries[1] = longEntry(tagImageLength, uint32(im.Height))
+	}
+	if im.Geo != nil {
+		entries = append(entries,
+			doubleArrayEntry(tagModelPixelScale, []float64{im.Geo.PixelW, im.Geo.PixelH, 0}),
+			doubleArrayEntry(tagModelTiepoint, []float64{0, 0, 0, im.Geo.OriginX, im.Geo.OriginY, 0}),
+		)
+	}
+	// Entries must be sorted by tag; ours are constructed sorted except the
+	// geo tags, which have the highest ids, so order already holds.
+
+	ifdLen := 2 + 12*len(entries) + 4
+	overflowOffset := ifdOffset + uint32(ifdLen)
+
+	var ifd bytes.Buffer
+	var overflow bytes.Buffer
+	binary.Write(&ifd, binary.LittleEndian, uint16(len(entries)))
+	for _, e := range entries {
+		binary.Write(&ifd, binary.LittleEndian, e.tag)
+		binary.Write(&ifd, binary.LittleEndian, e.typ)
+		binary.Write(&ifd, binary.LittleEndian, e.count)
+		if len(e.value) <= 4 {
+			var v [4]byte
+			copy(v[:], e.value)
+			ifd.Write(v[:])
+		} else {
+			binary.Write(&ifd, binary.LittleEndian, overflowOffset+uint32(overflow.Len()))
+			overflow.Write(e.value)
+		}
+	}
+	binary.Write(&ifd, binary.LittleEndian, uint32(0)) // next IFD
+
+	// Emit everything.
+	var header [headerLen]byte
+	header[0], header[1] = 'I', 'I'
+	binary.LittleEndian.PutUint16(header[2:], 42)
+	binary.LittleEndian.PutUint32(header[4:], ifdOffset)
+	if _, err := w.Write(header[:]); err != nil {
+		return fmt.Errorf("tiff: write header: %w", err)
+	}
+	written := uint32(headerLen)
+	for _, data := range strips {
+		if _, err := w.Write(data); err != nil {
+			return fmt.Errorf("tiff: write strip: %w", err)
+		}
+		written += uint32(len(data))
+	}
+	if written < ifdOffset { // alignment pad
+		if _, err := w.Write([]byte{0}); err != nil {
+			return fmt.Errorf("tiff: write pad: %w", err)
+		}
+	}
+	if _, err := w.Write(ifd.Bytes()); err != nil {
+		return fmt.Errorf("tiff: write IFD: %w", err)
+	}
+	if _, err := w.Write(overflow.Bytes()); err != nil {
+		return fmt.Errorf("tiff: write values: %w", err)
+	}
+	return nil
+}
+
+func shortEntry(tag uint16, v uint16) ifdEntry {
+	b := make([]byte, 2)
+	binary.LittleEndian.PutUint16(b, v)
+	return ifdEntry{tag: tag, typ: typeShort, count: 1, value: b}
+}
+
+func longEntry(tag uint16, v uint32) ifdEntry {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint32(b, v)
+	return ifdEntry{tag: tag, typ: typeLong, count: 1, value: b}
+}
+
+func longArrayEntry(tag uint16, vs []uint32) ifdEntry {
+	b := make([]byte, 4*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint32(b[4*i:], v)
+	}
+	return ifdEntry{tag: tag, typ: typeLong, count: uint32(len(vs)), value: b}
+}
+
+func doubleArrayEntry(tag uint16, vs []float64) ifdEntry {
+	b := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return ifdEntry{tag: tag, typ: typeDouble, count: uint32(len(vs)), value: b}
+}
