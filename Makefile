@@ -1,0 +1,21 @@
+# Developer entry points. `make check` is the full gate: tier-1
+# (build + test, matching ROADMAP.md) plus vet and the race detector.
+
+GO ?= go
+
+.PHONY: build test vet race check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build test vet race
+	@echo "check: all gates passed"

@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"nsdfgo/internal/catalog"
+	"nsdfgo/internal/telemetry"
 )
 
 func main() {
@@ -84,8 +85,10 @@ func run() error {
 
 	switch {
 	case *serve:
-		fmt.Printf("catalog service listening on %s (%d records)\n", *addr, cat.Len())
-		return http.ListenAndServe(*addr, catalog.NewServer(cat))
+		srv := catalog.NewServer(cat)
+		srv.EnableTelemetry(telemetry.NewRegistry())
+		fmt.Printf("catalog service listening on %s (%d records, metrics at /metrics)\n", *addr, cat.Len())
+		return http.ListenAndServe(*addr, srv)
 	case *stats:
 		s := cat.Stats()
 		fmt.Printf("records: %d\ntokens: %d\ntotal bytes: %d\n", s.Records, s.Tokens, s.TotalBytes)

@@ -37,6 +37,7 @@ func run() error {
 	variable := flag.String("variable", "", "NetCDF variable to extract (default: first 2D data variable)")
 	rawWidth := flag.Int("raw-width", 0, "width of raw float32 inputs")
 	rawHeight := flag.Int("raw-height", 0, "height of raw float32 inputs")
+	writeParallelism := flag.Int("write-parallelism", 0, "concurrent block writes per field (0 = GOMAXPROCS)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		return fmt.Errorf("no inputs (usage: nsdf-convert -out DIR file.{tif,nc,png,raw}...)")
@@ -63,7 +64,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	ds, err := convert.ToIDX(be, inputs, *bitsPerBlock, *codec)
+	ds, err := convert.ToIDXWith(be, inputs, convert.IDXOptions{
+		BitsPerBlock:     *bitsPerBlock,
+		Codec:            *codec,
+		WriteParallelism: *writeParallelism,
+	})
 	if err != nil {
 		return err
 	}

@@ -14,12 +14,14 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"nsdfgo/internal/dashboard"
 	"nsdfgo/internal/dem"
 	"nsdfgo/internal/geotiled"
 	"nsdfgo/internal/idx"
 	"nsdfgo/internal/query"
+	"nsdfgo/internal/telemetry"
 )
 
 func main() {
@@ -43,11 +45,14 @@ func run() error {
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheMB := flag.Int("cache-mb", 64, "block cache size per dataset in MiB")
 	demo := flag.Bool("demo", false, "synthesise and register a demo Tennessee dataset")
+	summaryEvery := flag.Duration("summary-interval", 30*time.Second, "interval between one-line telemetry summaries (0 disables)")
 	var data dataFlags
 	flag.Var(&data, "data", "dataset as name=path/to/idx/dir (repeatable)")
 	flag.Parse()
 
+	reg := telemetry.NewRegistry()
 	server := dashboard.NewServer()
+	server.EnableTelemetry(reg)
 	registered := 0
 	for _, spec := range data {
 		name, path, ok := strings.Cut(spec, "=")
@@ -79,8 +84,39 @@ func run() error {
 	if registered == 0 {
 		return fmt.Errorf("nothing to serve: pass -data name=path or -demo")
 	}
-	fmt.Printf("dashboard listening on %s\n", *addr)
+	if *summaryEvery > 0 {
+		go summaryLoop(reg, *summaryEvery)
+	}
+	fmt.Printf("dashboard listening on %s (metrics at /metrics)\n", *addr)
 	return http.ListenAndServe(*addr, server)
+}
+
+// summaryLoop prints a periodic one-line operational summary so sweep
+// logs capture hit rates and latency percentiles without scraping.
+func summaryLoop(reg *telemetry.Registry, every time.Duration) {
+	for range time.Tick(every) {
+		fmt.Println(summaryLine(reg))
+	}
+}
+
+// summaryLine condenses the registry into one log line.
+func summaryLine(reg *telemetry.Registry) string {
+	requests := reg.SumFamily("nsdf_http_requests_total")
+	hits := reg.SumFamily("nsdf_cache_hits_total")
+	misses := reg.SumFamily("nsdf_cache_misses_total")
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = 100 * hits / (hits + misses)
+	}
+	line := fmt.Sprintf("[metrics] http_requests=%.0f cache_hit=%.1f%% blocks_read=%.0f blocks_cached=%.0f bytes_read=%.0f",
+		requests, hitRate,
+		reg.SumFamily("nsdf_idx_blocks_read_total"),
+		reg.SumFamily("nsdf_idx_blocks_cached_total"),
+		reg.SumFamily("nsdf_idx_bytes_read_total"))
+	if p50, p95, p99, ok := reg.FamilyQuantiles("nsdf_http_request_seconds"); ok {
+		line += fmt.Sprintf(" http_p50=%.1fms p95=%.1fms p99=%.1fms", p50*1e3, p95*1e3, p99*1e3)
+	}
+	return line
 }
 
 // buildDemoDataset synthesises the tutorial's Tennessee scene in memory.

@@ -13,12 +13,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"nsdfgo/internal/netmon"
+	"nsdfgo/internal/telemetry"
 )
 
 func main() {
@@ -35,6 +37,7 @@ func run() error {
 	minGbps := flag.Float64("min-gbps", 15, "constraint: minimum acceptable mean throughput (Gbps)")
 	monitor := flag.Int("monitor", 0, "run N monitoring sweeps and report degradation alerts")
 	degrade := flag.String("degrade", "", "inject degradation before the final sweep: from:to:rttFactor:bwFactor")
+	metricsAddr := flag.String("metrics-addr", "", "serve a /metrics telemetry endpoint on this address while monitoring")
 	flag.Parse()
 
 	net, err := netmon.NewNetwork(netmon.Testbed(), *seed)
@@ -43,7 +46,18 @@ func run() error {
 	}
 
 	if *monitor > 0 {
-		return runMonitor(net, *monitor, *probes, *degrade)
+		reg := telemetry.NewRegistry()
+		if *metricsAddr != "" {
+			mux := http.NewServeMux()
+			mux.Handle("/metrics", reg.Handler())
+			go func() {
+				if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+					fmt.Fprintln(os.Stderr, "nsdf-netmon: metrics server:", err)
+				}
+			}()
+			fmt.Printf("telemetry listening on %s/metrics\n", *metricsAddr)
+		}
+		return runMonitor(net, reg, *monitor, *probes, *degrade)
 	}
 
 	rep, err := net.Measure(*probes)
@@ -61,16 +75,17 @@ func run() error {
 	return nil
 }
 
-func runMonitor(net *netmon.Network, sweeps, probes int, degrade string) error {
+func runMonitor(net *netmon.Network, reg *telemetry.Registry, sweeps, probes int, degrade string) error {
 	mon, err := netmon.NewMonitor(net, sweeps+1)
 	if err != nil {
 		return err
 	}
+	mon.SetTelemetry(reg)
 	for i := 0; i < sweeps; i++ {
 		if _, err := mon.Tick(probes); err != nil {
 			return err
 		}
-		fmt.Printf("sweep %d/%d complete\n", i+1, sweeps)
+		fmt.Printf("sweep %d/%d complete  %s\n", i+1, sweeps, monitorSummary(reg))
 	}
 	if degrade != "" {
 		parts := strings.Split(degrade, ":")
@@ -102,5 +117,18 @@ func runMonitor(net *netmon.Network, sweeps, probes int, degrade string) error {
 	for _, a := range alerts {
 		fmt.Printf("  %-16s %s\n", a.Pair, a.Reason)
 	}
+	fmt.Println(monitorSummary(reg))
 	return nil
+}
+
+// monitorSummary condenses the monitoring telemetry into one line.
+func monitorSummary(reg *telemetry.Registry) string {
+	line := fmt.Sprintf("[metrics] sweeps=%.0f probes=%.0f alerts=%.0f",
+		reg.SumFamily("nsdf_netmon_sweeps_total"),
+		reg.SumFamily("nsdf_netmon_probes_total"),
+		reg.SumFamily("nsdf_netmon_alerts_total"))
+	if p50, p95, p99, ok := reg.FamilyQuantiles("nsdf_netmon_rtt_seconds"); ok {
+		line += fmt.Sprintf(" rtt_p50=%.1fms p95=%.1fms p99=%.1fms", p50*1e3, p95*1e3, p99*1e3)
+	}
+	return line
 }

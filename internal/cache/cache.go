@@ -8,6 +8,8 @@ package cache
 import (
 	"container/list"
 	"sync"
+
+	"nsdfgo/internal/telemetry"
 )
 
 // Stats reports cache effectiveness counters.
@@ -131,6 +133,29 @@ func (c *LRU) Clear() {
 	c.ll.Init()
 	c.items = make(map[string]*list.Element)
 	c.curBytes = 0
+}
+
+// Instrument registers the cache's counters with a telemetry registry,
+// labelled with a cache name. The series are read live at exposition
+// time, so there is no per-operation overhead beyond the existing
+// counters:
+//
+//	nsdf_cache_hits_total{cache}       Get hits
+//	nsdf_cache_misses_total{cache}     Get misses
+//	nsdf_cache_evictions_total{cache}  size-bound evictions
+//	nsdf_cache_entries{cache}          current entry count
+//	nsdf_cache_bytes{cache}            current payload footprint
+func (c *LRU) Instrument(reg *telemetry.Registry, name string) {
+	reg.CounterFunc("nsdf_cache_hits_total",
+		func() float64 { return float64(c.Stats().Hits) }, "cache", name)
+	reg.CounterFunc("nsdf_cache_misses_total",
+		func() float64 { return float64(c.Stats().Misses) }, "cache", name)
+	reg.CounterFunc("nsdf_cache_evictions_total",
+		func() float64 { return float64(c.Stats().Evictions) }, "cache", name)
+	reg.GaugeFunc("nsdf_cache_entries",
+		func() float64 { return float64(c.Stats().Entries) }, "cache", name)
+	reg.GaugeFunc("nsdf_cache_bytes",
+		func() float64 { return float64(c.Stats().Bytes) }, "cache", name)
 }
 
 // Stats returns a snapshot of the cache counters.

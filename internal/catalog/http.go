@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
+
+	"nsdfgo/internal/telemetry"
 )
 
 // Server exposes a Catalog over HTTP:
@@ -14,15 +17,60 @@ import (
 //	GET  /search?q=&source=&type=&prefix=&limit=
 //	GET  /stats             catalog summary
 //	GET  /healthz           liveness probe
+//	GET  /metrics           telemetry exposition (when enabled)
 type Server struct {
 	cat *Catalog
+	reg *telemetry.Registry
+	tel *telemetry.HTTPMetrics
 }
 
 // NewServer wraps a catalog for HTTP serving.
 func NewServer(cat *Catalog) *Server { return &Server{cat: cat} }
 
+// EnableTelemetry attaches a metrics registry: every request is counted
+// under nsdf_http_requests_total{service="catalog",route,class} and timed
+// in nsdf_http_request_seconds{service="catalog"}, and the registry's
+// exposition is served at /metrics.
+func (s *Server) EnableTelemetry(reg *telemetry.Registry) {
+	s.reg = reg
+	s.tel = telemetry.NewHTTPMetrics(reg, "catalog")
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.tel == nil {
+		s.route(w, r)
+		return
+	}
+	if r.URL.Path == "/metrics" {
+		s.reg.Handler().ServeHTTP(w, r)
+		return
+	}
+	rec := telemetry.NewStatusRecorder(w)
+	start := time.Now()
+	s.route(rec, r)
+	s.tel.Observe(routeLabel(r), rec.Code, time.Since(start))
+}
+
+// routeLabel maps a request to a bounded route name for telemetry.
+func routeLabel(r *http.Request) string {
+	switch {
+	case r.URL.Path == "/healthz":
+		return "/healthz"
+	case r.URL.Path == "/records":
+		return "/records"
+	case len(r.URL.Path) > len("/records/") && r.URL.Path[:9] == "/records/":
+		return "/records/{id}"
+	case r.URL.Path == "/search":
+		return "/search"
+	case r.URL.Path == "/stats":
+		return "/stats"
+	}
+	return "other"
+}
+
+// route dispatches a request to its handler.
+func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.URL.Path == "/healthz":
 		fmt.Fprintln(w, "ok")

@@ -38,10 +38,13 @@ const (
 )
 
 // Sniff determines the format of a payload from its magic bytes, falling
-// back to the file extension for raw binary.
+// back to the file extension for raw binary. TIFF requires the full
+// 4-byte magic — byte order mark plus the constant 42 ("II*\0" or
+// "MM\0*") — so raw files that merely start with "II" or "MM" are not
+// misrouted into the TIFF decoder.
 func Sniff(name string, data []byte) (Format, error) {
 	switch {
-	case len(data) >= 4 && (string(data[:2]) == "II" || string(data[:2]) == "MM"):
+	case len(data) >= 4 && (string(data[:4]) == "II*\x00" || string(data[:4]) == "MM\x00*"):
 		return FormatTIFF, nil
 	case len(data) >= 4 && string(data[:3]) == "CDF":
 		return FormatNetCDF, nil
@@ -175,10 +178,29 @@ func SanitizeFieldName(name string) string {
 	return out
 }
 
-// ToIDX writes the inputs as fields of a new IDX dataset on the backend.
-// All inputs must share dimensions; georeferencing is taken from the
-// first input that has it. Returns the dataset.
+// IDXOptions tunes how ToIDXWith lays out and writes the dataset.
+type IDXOptions struct {
+	// BitsPerBlock sets samples per block = 2^BitsPerBlock; 0 keeps the
+	// dataset default.
+	BitsPerBlock int
+	// Codec names the block codec; empty selects the per-type default.
+	Codec string
+	// WriteParallelism bounds concurrent block writes; 0 uses the
+	// dataset default (GOMAXPROCS). See idx.Dataset.SetWriteParallelism.
+	WriteParallelism int
+}
+
+// ToIDX writes the inputs as fields of a new IDX dataset on the backend
+// with default write parallelism. See ToIDXWith.
 func ToIDX(be idx.Backend, inputs []Input, bitsPerBlock int, codec string) (*idx.Dataset, error) {
+	return ToIDXWith(be, inputs, IDXOptions{BitsPerBlock: bitsPerBlock, Codec: codec})
+}
+
+// ToIDXWith writes the inputs as fields of a new IDX dataset on the
+// backend. All inputs must share dimensions; georeferencing is taken from
+// the first input that has it. Returns the dataset.
+func ToIDXWith(be idx.Backend, inputs []Input, opts IDXOptions) (*idx.Dataset, error) {
+	bitsPerBlock, codec := opts.BitsPerBlock, opts.Codec
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("convert: no inputs")
 	}
@@ -219,6 +241,7 @@ func ToIDX(be idx.Backend, inputs []Input, bitsPerBlock int, codec string) (*idx
 	if err != nil {
 		return nil, err
 	}
+	ds.SetWriteParallelism(opts.WriteParallelism)
 	for _, in := range inputs {
 		if err := ds.WriteGrid(in.FieldName, 0, in.Grid); err != nil {
 			return nil, fmt.Errorf("convert: write %s: %w", in.FieldName, err)

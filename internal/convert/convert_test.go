@@ -72,6 +72,35 @@ func TestSniff(t *testing.T) {
 	}
 }
 
+// TestSniffTIFFMagicFullWidth is the regression test for the sniffing
+// bug where any payload starting with "II" or "MM" was routed to the
+// TIFF decoder: raw float32 data whose first bytes happen to spell a
+// byte-order mark must still sniff as raw, and only the full 4-byte
+// magic (order mark plus the constant 42) means TIFF.
+func TestSniffTIFFMagicFullWidth(t *testing.T) {
+	// Little-endian float32 payloads that start with "II" / "MM" but are
+	// not TIFF: the first sample's low bytes collide with the mark.
+	for _, prefix := range []string{"II", "MM", "II*A", "MM\x00B", "IIxx", "MM*\x00"} {
+		data := append([]byte(prefix), make([]byte, 62)...)
+		got, err := Sniff("dem.raw", data)
+		if err != nil || got != FormatRaw {
+			t.Errorf("Sniff(dem.raw, %q...) = %q, %v; want raw", prefix, got, err)
+		}
+	}
+	// The true 4-byte magics are TIFF regardless of extension.
+	for _, magic := range []string{"II*\x00", "MM\x00*"} {
+		data := append([]byte(magic), make([]byte, 60)...)
+		got, err := Sniff("dem.raw", data)
+		if err != nil || got != FormatTIFF {
+			t.Errorf("Sniff(dem.raw, %q...) = %q, %v; want tiff", magic, got, err)
+		}
+	}
+	// Truncated payloads shorter than the magic cannot be TIFF.
+	if got, err := Sniff("x.raw", []byte("II")); err != nil || got != FormatRaw {
+		t.Errorf("Sniff(x.raw, short) = %q, %v; want raw", got, err)
+	}
+}
+
 func encodePNG(t *testing.T, w, h int) []byte {
 	t.Helper()
 	img := image.NewGray(image.Rect(0, 0, w, h))

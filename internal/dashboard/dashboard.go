@@ -18,22 +18,41 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"nsdfgo/internal/colormap"
 	"nsdfgo/internal/idx"
 	"nsdfgo/internal/query"
 	"nsdfgo/internal/raster"
+	"nsdfgo/internal/telemetry"
 )
 
 // Server is the dashboard HTTP service. Register datasets, then serve.
 type Server struct {
 	mu      sync.RWMutex
 	engines map[string]*query.Engine
+	reg     *telemetry.Registry
+	tel     *telemetry.HTTPMetrics
 }
 
 // NewServer returns an empty dashboard.
 func NewServer() *Server {
 	return &Server{engines: make(map[string]*query.Engine)}
+}
+
+// EnableTelemetry attaches a metrics registry: requests are counted per
+// route and status class, timed into a latency histogram, and the
+// registry's exposition is served at /metrics. Datasets registered after
+// this call are instrumented automatically (block I/O and cache series
+// labelled with the dataset name).
+func (s *Server) EnableTelemetry(reg *telemetry.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg = reg
+	s.tel = telemetry.NewHTTPMetrics(reg, "dashboard")
+	for name, e := range s.engines {
+		e.Instrument(reg, name)
+	}
 }
 
 // Register adds a dataset under the given display name (the dropdown
@@ -42,6 +61,9 @@ func (s *Server) Register(name string, engine *query.Engine) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.engines[name] = engine
+	if s.reg != nil {
+		engine.Instrument(s.reg, name)
+	}
 }
 
 // engine resolves a dataset name.
@@ -108,6 +130,30 @@ func (s *Server) Datasets() []DatasetInfo {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	reg, tel := s.reg, s.tel
+	s.mu.RUnlock()
+	if tel == nil {
+		s.route(w, r)
+		return
+	}
+	if r.URL.Path == "/metrics" {
+		reg.Handler().ServeHTTP(w, r)
+		return
+	}
+	rec := telemetry.NewStatusRecorder(w)
+	start := time.Now()
+	handled := s.route(rec, r)
+	route := r.URL.Path
+	if !handled {
+		route = "other"
+	}
+	tel.Observe(route, rec.Code, time.Since(start))
+}
+
+// route dispatches to the endpoint handlers, reporting whether the path
+// named a known route (used to bound telemetry label cardinality).
+func (s *Server) route(w http.ResponseWriter, r *http.Request) bool {
 	switch r.URL.Path {
 	case "/healthz":
 		fmt.Fprintln(w, "ok")
@@ -130,8 +176,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	default:
 		if !s.extraRoutes(w, r) {
 			http.NotFound(w, r)
+			return false
 		}
 	}
+	return true
 }
 
 // regionRequest parses the shared dataset/field/time/box/level params.

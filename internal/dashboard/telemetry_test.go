@@ -1,0 +1,97 @@
+package dashboard
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"nsdfgo/internal/dem"
+	"nsdfgo/internal/idx"
+	"nsdfgo/internal/query"
+	"nsdfgo/internal/telemetry"
+)
+
+// TestMetricsEndpointBreadth drives the dashboard the way a tutorial
+// session would — browse, render, re-render — then scrapes /metrics and
+// checks the acceptance bar: at least 12 distinct series spanning idx
+// block I/O, cache effectiveness, and HTTP latency with percentiles.
+func TestMetricsEndpointBreadth(t *testing.T) {
+	meta, err := idx.NewMeta([]int{64, 64}, []idx.Field{{Name: "elevation", Type: idx.Float32, Codec: "zlib"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta.BitsPerBlock = 8
+	ds, err := idx.Create(idx.NewMemBackend(), meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteGrid("elevation", 0, dem.Scale(dem.FBM(64, 64, 3, dem.DefaultFBM()), 0, 1000)); err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewServer()
+	reg := telemetry.NewRegistry()
+	s.EnableTelemetry(reg)
+	s.Register("demo", query.New(ds, 1<<20))
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	for _, path := range []string{
+		"/api/datasets",
+		"/api/render?dataset=demo&field=elevation", // cold read
+		"/api/render?dataset=demo&field=elevation", // warm: cache hits
+		"/api/missing", // 404: a second status class
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposition := string(body)
+
+	series := 0
+	for _, line := range strings.Split(exposition, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		series++
+	}
+	if series < 12 {
+		t.Errorf("/metrics exposes %d series, acceptance bar is 12:\n%s", series, exposition)
+	}
+
+	// Spot-check each dimension the issue names.
+	for _, want := range []string{
+		`nsdf_idx_blocks_read_total{dataset="demo"}`,
+		`nsdf_idx_blocks_cached_total{dataset="demo"}`,
+		`nsdf_cache_hits_total{cache="demo"}`,
+		`nsdf_cache_misses_total{cache="demo"}`,
+		`nsdf_http_requests_total{class="2xx",route="/api/render",service="dashboard"} 2`,
+		`nsdf_http_requests_total{class="4xx",route="other",service="dashboard"} 1`,
+		`nsdf_http_request_seconds{service="dashboard",quantile="0.95"}`,
+		`nsdf_idx_read_seconds{dataset="demo",quantile="0.99"}`,
+	} {
+		if !strings.Contains(exposition, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// The warm render must have produced cache hits visible in the scrape.
+	if reg.SumFamily("nsdf_cache_hits_total") == 0 {
+		t.Error("no cache hits recorded after a repeated render")
+	}
+}

@@ -75,6 +75,9 @@ func TestFig3ShapeHolds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if raceEnabled {
+		t.Skip("timing-shape assertion unreliable under the race detector's slowdown")
+	}
 	local := res.Sources["local"]
 	regional := res.Sources["regional"]
 	cross := res.Sources["cross-country"]
@@ -211,7 +214,7 @@ func TestClaimCacheShapeHolds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Warm*10 > res.Cold {
+	if !raceEnabled && res.Warm*10 > res.Cold {
 		t.Errorf("warm %v not >=10x faster than cold %v", res.Warm, res.Cold)
 	}
 	if res.HitRate < 0.4 {

@@ -1,0 +1,9 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in. Timing-
+// shape assertions (simulated WAN latency dominating CPU time) are
+// skipped under -race, whose instrumentation slows CPU-bound code enough
+// to invert the expected orderings.
+const raceEnabled = false

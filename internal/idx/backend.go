@@ -26,6 +26,16 @@ type Backend interface {
 	List(prefix string) ([]string, error)
 }
 
+// Deleter is the optional backend capability Create uses to clear stale
+// blocks when re-creating a dataset in place. All of this repository's
+// backends implement it; a backend that does not makes Create refuse to
+// overwrite an existing dataset's blocks.
+type Deleter interface {
+	// Delete removes the object stored under name; deleting a missing
+	// object is not an error.
+	Delete(name string) error
+}
+
 // NotExistError reports a missing object.
 type NotExistError struct {
 	// Name is the object that was requested.
@@ -73,6 +83,14 @@ func (m *MemBackend) Put(name string, data []byte) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.objects[name] = cp
+	return nil
+}
+
+// Delete implements Deleter.
+func (m *MemBackend) Delete(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.objects, name)
 	return nil
 }
 
@@ -162,6 +180,18 @@ func (d *DirBackend) Put(name string, data []byte) error {
 	}
 	if err := os.Rename(tmp, p); err != nil {
 		return fmt.Errorf("idx: rename %q: %w", name, err)
+	}
+	return nil
+}
+
+// Delete implements Deleter.
+func (d *DirBackend) Delete(name string) error {
+	p, err := d.path(name)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("idx: delete %q: %w", name, err)
 	}
 	return nil
 }

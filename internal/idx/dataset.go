@@ -10,8 +10,10 @@ package idx
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"nsdfgo/internal/compress"
 	"nsdfgo/internal/hz"
@@ -23,9 +25,11 @@ type Dataset struct {
 	// Meta is the dataset descriptor.
 	Meta Meta
 
-	be          Backend
-	cache       BlockCache
-	parallelism int
+	be               Backend
+	cache            BlockCache
+	parallelism      int
+	writeParallelism int
+	tel              *dsMetrics
 }
 
 // BlockCache is an optional block-level cache consulted before the
@@ -39,9 +43,27 @@ type BlockCache interface {
 }
 
 // Create initialises a new dataset in the backend by writing its
-// descriptor. Creating over an existing dataset overwrites the descriptor
-// but not stale blocks; use a fresh prefix/backend per dataset.
+// descriptor. Creating over an existing dataset first removes any blocks
+// left under BlockPrefix — otherwise a smaller or sparser re-creation
+// could silently serve the previous dataset's samples. Backends that
+// cannot delete (no Deleter implementation) refuse to create over
+// existing blocks instead.
 func Create(be Backend, meta Meta) (*Dataset, error) {
+	stale, err := be.List(BlockPrefix)
+	if err != nil {
+		return nil, fmt.Errorf("idx: scan for stale blocks: %w", err)
+	}
+	if len(stale) > 0 {
+		del, ok := be.(Deleter)
+		if !ok {
+			return nil, fmt.Errorf("idx: backend holds %d stale blocks under %q and cannot delete them; use a fresh prefix or backend", len(stale), BlockPrefix)
+		}
+		for _, name := range stale {
+			if err := del.Delete(name); err != nil {
+				return nil, fmt.Errorf("idx: delete stale block %q: %w", name, err)
+			}
+		}
+	}
 	text, err := meta.MarshalText()
 	if err != nil {
 		return nil, err
@@ -87,6 +109,34 @@ func (d *Dataset) fetchParallelism() int {
 	return d.parallelism
 }
 
+// SetWriteParallelism bounds how many blocks WriteGrid and WriteVolume
+// encode and store concurrently. Values below 1 restore the default,
+// which is runtime.GOMAXPROCS(0) — block encoding is CPU-bound, so more
+// workers than cores only adds contention. The backend must be safe for
+// concurrent use.
+func (d *Dataset) SetWriteParallelism(n int) {
+	if n < 1 {
+		n = 0
+	}
+	d.writeParallelism = n
+}
+
+// writeWorkers resolves the effective write worker count for a job of
+// numBlocks blocks.
+func (d *Dataset) writeWorkers(numBlocks int) int {
+	workers := d.writeParallelism
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > numBlocks {
+		workers = numBlocks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
 // fetchBlock gets one block from the backend, decodes it, and offers it
 // to the cache. It returns the decoded payload and the compressed size.
 func (d *Dataset) fetchBlock(field string, t, b int, codec compress.Codec, rawBlockLen int) ([]byte, int64, error) {
@@ -108,9 +158,13 @@ func (d *Dataset) fetchBlock(field string, t, b int, codec compress.Codec, rawBl
 // Backend returns the dataset's backend.
 func (d *Dataset) Backend() Backend { return d.be }
 
+// BlockPrefix is the object-name prefix under which every field's blocks
+// are stored; Create clears it when re-creating over an old dataset.
+const BlockPrefix = "fields/"
+
 // BlockKey returns the object name of one block.
 func (d *Dataset) BlockKey(field string, t, block int) string {
-	return fmt.Sprintf("fields/%s/t%04d/b%08d.bin", field, t, block)
+	return fmt.Sprintf(BlockPrefix+"%s/t%04d/b%08d.bin", field, t, block)
 }
 
 // checkFieldTime validates a field/timestep pair and returns the field.
@@ -150,12 +204,18 @@ func (d *Dataset) WriteGrid(field string, t int, g *raster.Grid) error {
 	sz := f.Type.Size()
 	w, h := g.W, g.H
 
+	start := time.Now()
+	defer func() {
+		if d.tel != nil {
+			d.tel.writeSeconds.ObserveSince(start)
+		}
+	}()
+
 	// Write blocks in parallel: each worker owns whole blocks, so no
-	// shared mutable state beyond the (concurrency-safe) backend.
-	workers := 4
-	if numBlocks < workers {
-		workers = numBlocks
-	}
+	// shared mutable state beyond the (concurrency-safe) backend. The
+	// worker count honours SetWriteParallelism, matching the read path's
+	// SetFetchParallelism knob.
+	workers := d.writeWorkers(numBlocks)
 	errCh := make(chan error, workers)
 	var next int
 	var mu sync.Mutex
@@ -202,6 +262,7 @@ func (d *Dataset) WriteGrid(field string, t int, g *raster.Grid) error {
 					errCh <- fmt.Errorf("idx: store block %d: %w", b, err)
 					return
 				}
+				d.recordBlockWrite(len(enc))
 			}
 		}()
 	}
@@ -269,6 +330,7 @@ type ReadStats struct {
 // practical: a coarse preview of a 100TB dataset needs a handful of
 // blocks.
 func (d *Dataset) ReadBox(field string, t int, box Box, level int) (*raster.Grid, *ReadStats, error) {
+	start := time.Now()
 	f, err := d.checkFieldTime(field, t)
 	if err != nil {
 		return nil, nil, err
@@ -404,6 +466,10 @@ func (d *Dataset) ReadBox(field string, t int, box Box, level int) (*raster.Grid
 			PixelW:  d.Meta.Geo.PixelW * float64(sx),
 			PixelH:  d.Meta.Geo.PixelH * float64(sy),
 		}
+	}
+	d.recordRead(stats)
+	if d.tel != nil {
+		d.tel.readSeconds.ObserveSince(start)
 	}
 	return out, stats, nil
 }

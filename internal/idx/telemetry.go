@@ -1,0 +1,64 @@
+package idx
+
+import (
+	"nsdfgo/internal/telemetry"
+)
+
+// dsMetrics holds the dataset's resolved telemetry series. All fields
+// are safe for concurrent use; hot paths nil-check the struct once.
+type dsMetrics struct {
+	blocksRead    *telemetry.Counter
+	blocksCached  *telemetry.Counter
+	blocksWritten *telemetry.Counter
+	bytesRead     *telemetry.Counter
+	bytesWritten  *telemetry.Counter
+	readSeconds   *telemetry.Histogram
+	writeSeconds  *telemetry.Histogram
+}
+
+// SetTelemetry attaches a metrics registry to the dataset, labelling its
+// series with the given dataset name. Subsequent reads and writes record:
+//
+//	nsdf_idx_blocks_read_total{dataset}     blocks fetched from the backend
+//	nsdf_idx_blocks_cached_total{dataset}   blocks served by the cache
+//	nsdf_idx_blocks_written_total{dataset}  blocks stored
+//	nsdf_idx_bytes_read_total{dataset}      compressed bytes fetched
+//	nsdf_idx_bytes_written_total{dataset}   compressed bytes stored
+//	nsdf_idx_read_seconds{dataset}          ReadBox/ReadBox3D latency
+//	nsdf_idx_write_seconds{dataset}         WriteGrid/WriteVolume latency
+func (d *Dataset) SetTelemetry(reg *telemetry.Registry, dataset string) {
+	if reg == nil {
+		d.tel = nil
+		return
+	}
+	d.tel = &dsMetrics{
+		blocksRead:    reg.Counter("nsdf_idx_blocks_read_total", "dataset", dataset),
+		blocksCached:  reg.Counter("nsdf_idx_blocks_cached_total", "dataset", dataset),
+		blocksWritten: reg.Counter("nsdf_idx_blocks_written_total", "dataset", dataset),
+		bytesRead:     reg.Counter("nsdf_idx_bytes_read_total", "dataset", dataset),
+		bytesWritten:  reg.Counter("nsdf_idx_bytes_written_total", "dataset", dataset),
+		readSeconds:   reg.Histogram("nsdf_idx_read_seconds", "dataset", dataset),
+		writeSeconds:  reg.Histogram("nsdf_idx_write_seconds", "dataset", dataset),
+	}
+}
+
+// recordRead books one finished box read into the dataset's telemetry.
+func (d *Dataset) recordRead(stats *ReadStats) {
+	t := d.tel
+	if t == nil {
+		return
+	}
+	t.blocksRead.Add(int64(stats.BlocksRead))
+	t.blocksCached.Add(int64(stats.BlocksCached))
+	t.bytesRead.Add(stats.BytesRead)
+}
+
+// recordBlockWrite books one stored block.
+func (d *Dataset) recordBlockWrite(compressedBytes int) {
+	t := d.tel
+	if t == nil {
+		return
+	}
+	t.blocksWritten.Inc()
+	t.bytesWritten.Add(int64(compressedBytes))
+}

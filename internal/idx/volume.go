@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"nsdfgo/internal/compress"
 	"nsdfgo/internal/hz"
@@ -72,10 +73,14 @@ func (d *Dataset) WriteVolume(field string, t int, data []float32) error {
 	numBlocks := d.Meta.NumBlocks()
 	sz := f.Type.Size()
 
-	workers := 4
-	if numBlocks < workers {
-		workers = numBlocks
-	}
+	start := time.Now()
+	defer func() {
+		if d.tel != nil {
+			d.tel.writeSeconds.ObserveSince(start)
+		}
+	}()
+
+	workers := d.writeWorkers(numBlocks)
 	errCh := make(chan error, workers)
 	var next int
 	var mu sync.Mutex
@@ -122,6 +127,7 @@ func (d *Dataset) WriteVolume(field string, t int, data []float32) error {
 					errCh <- fmt.Errorf("idx: store block %d: %w", b, err)
 					return
 				}
+				d.recordBlockWrite(len(enc))
 			}
 		}()
 	}
@@ -155,6 +161,7 @@ func (v *Volume3) At(x, y, z int) float32 {
 // ReadBox3D extracts the level-L lattice samples within box from a 3D
 // dataset, using the same cached, parallel block fetching as the 2D path.
 func (d *Dataset) ReadBox3D(field string, t int, box Box3, level int) (*Volume3, *ReadStats, error) {
+	start := time.Now()
 	f, err := d.checkFieldTime(field, t)
 	if err != nil {
 		return nil, nil, err
@@ -243,6 +250,10 @@ func (d *Dataset) ReadBox3D(field string, t int, box Box3, level int) (*Volume3,
 		raw := blocks[int(hzAddr>>d.Meta.BitsPerBlock)]
 		off := int(hzAddr&uint64(blockSamples-1)) * sz
 		out.Data[i] = f.Type.getSample(raw[off:])
+	}
+	d.recordRead(stats)
+	if d.tel != nil {
+		d.tel.readSeconds.ObserveSince(start)
 	}
 	return out, stats, nil
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"nsdfgo/internal/telemetry"
 )
 
 // Degrade applies multipliers to one directed link, simulating congestion
@@ -51,6 +53,11 @@ type Monitor struct {
 	window int
 	// history holds up to window reports, oldest first.
 	history []*Report
+
+	sweeps *telemetry.Counter
+	probes *telemetry.Counter
+	alerts *telemetry.Counter
+	rtt    *telemetry.Histogram
 }
 
 // NewMonitor wraps a network with a sliding window of `window` sweeps
@@ -62,6 +69,19 @@ func NewMonitor(net *Network, window int) (*Monitor, error) {
 	return &Monitor{net: net, window: window}, nil
 }
 
+// SetTelemetry attaches a metrics registry. Each sweep then records:
+//
+//	nsdf_netmon_sweeps_total   completed sweeps
+//	nsdf_netmon_probes_total   individual probes sent
+//	nsdf_netmon_alerts_total   degradation alerts raised
+//	nsdf_netmon_rtt_seconds    per-pair mean RTT distribution
+func (m *Monitor) SetTelemetry(reg *telemetry.Registry) {
+	m.sweeps = reg.Counter("nsdf_netmon_sweeps_total")
+	m.probes = reg.Counter("nsdf_netmon_probes_total")
+	m.alerts = reg.Counter("nsdf_netmon_alerts_total")
+	m.rtt = reg.Histogram("nsdf_netmon_rtt_seconds")
+}
+
 // Tick performs one measurement sweep and appends it to the window.
 func (m *Monitor) Tick(probes int) (*Report, error) {
 	rep, err := m.net.Measure(probes)
@@ -71,6 +91,13 @@ func (m *Monitor) Tick(probes int) (*Report, error) {
 	m.history = append(m.history, rep)
 	if len(m.history) > m.window {
 		m.history = m.history[len(m.history)-m.window:]
+	}
+	if m.sweeps != nil {
+		m.sweeps.Inc()
+		for _, ps := range rep.Pairs {
+			m.probes.Add(int64(ps.Probes))
+			m.rtt.Observe(ps.MeanRTT.Seconds())
+		}
 	}
 	return rep, nil
 }
@@ -138,6 +165,9 @@ func (m *Monitor) Alerts(rttFactor, bwFactor float64) ([]Alert, error) {
 				cur.MeanBps/1e9, 100*cur.MeanBps/baseBps, baseBps/1e9)
 			out = append(out, alert)
 		}
+	}
+	if m.alerts != nil {
+		m.alerts.Add(int64(len(out)))
 	}
 	return out, nil
 }

@@ -13,6 +13,7 @@ import (
 	"nsdfgo/internal/cache"
 	"nsdfgo/internal/idx"
 	"nsdfgo/internal/raster"
+	"nsdfgo/internal/telemetry"
 )
 
 // Request describes what the caller wants, independent of storage layout.
@@ -88,6 +89,14 @@ func (e *Engine) SetFetchParallelism(n int) { e.ds.SetFetchParallelism(n) }
 
 // CacheStats reports the engine's block-cache counters.
 func (e *Engine) CacheStats() cache.Stats { return e.cache.Stats() }
+
+// Instrument wires the engine's dataset and block cache into a telemetry
+// registry, labelling both with the given dataset name. See
+// idx.Dataset.SetTelemetry and cache.LRU.Instrument for the series.
+func (e *Engine) Instrument(reg *telemetry.Registry, name string) {
+	e.ds.SetTelemetry(reg, name)
+	e.cache.Instrument(reg, name)
+}
 
 // normalize fills request defaults and resolves the effective level.
 func (e *Engine) normalize(req Request) (Request, error) {

@@ -41,6 +41,12 @@ func (b *IDXBackend) Put(name string, data []byte) error {
 	return b.store.Put(context.Background(), b.prefix+name, data)
 }
 
+// Delete implements idx.Deleter, letting idx.Create clear stale blocks
+// on store-backed datasets.
+func (b *IDXBackend) Delete(name string) error {
+	return b.store.Delete(context.Background(), b.prefix+name)
+}
+
 // List implements idx.Backend.
 func (b *IDXBackend) List(prefix string) ([]string, error) {
 	infos, err := b.store.List(context.Background(), b.prefix+prefix)

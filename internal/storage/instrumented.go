@@ -1,0 +1,106 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"nsdfgo/internal/telemetry"
+)
+
+// Instrumented wraps a Store and records per-operation telemetry: op and
+// error counts, payload bytes by direction, and an operation latency
+// histogram, all labelled with a backend name. Layer it outermost so the
+// histogram captures the full cost (retries, simulated WAN delay, the
+// store itself):
+//
+//	store := storage.NewInstrumented(
+//	    storage.NewRetry(storage.NewConditioned(inner, profile, seed), 3, 0),
+//	    reg, "seal")
+type Instrumented struct {
+	inner Store
+
+	ops  map[string]*telemetry.Counter
+	errs map[string]*telemetry.Counter
+	up   *telemetry.Counter
+	down *telemetry.Counter
+	lat  *telemetry.Histogram
+}
+
+// instrumentedOps are the Store operations tracked per backend.
+var instrumentedOps = []string{"get", "put", "delete", "stat", "list"}
+
+// NewInstrumented wraps inner, registering its metrics under the given
+// backend label in reg.
+func NewInstrumented(inner Store, reg *telemetry.Registry, backend string) *Instrumented {
+	in := &Instrumented{
+		inner: inner,
+		ops:   make(map[string]*telemetry.Counter, len(instrumentedOps)),
+		errs:  make(map[string]*telemetry.Counter, len(instrumentedOps)),
+		up:    reg.Counter("nsdf_storage_bytes_total", "backend", backend, "direction", "up"),
+		down:  reg.Counter("nsdf_storage_bytes_total", "backend", backend, "direction", "down"),
+		lat:   reg.Histogram("nsdf_storage_op_seconds", "backend", backend),
+	}
+	for _, op := range instrumentedOps {
+		in.ops[op] = reg.Counter("nsdf_storage_ops_total", "backend", backend, "op", op)
+		in.errs[op] = reg.Counter("nsdf_storage_errors_total", "backend", backend, "op", op)
+	}
+	return in
+}
+
+// record books one finished operation. Missing objects are an expected
+// outcome of Get/Stat probes, not a backend failure, so ErrNotExist does
+// not count as an error.
+func (in *Instrumented) record(op string, start time.Time, err error) {
+	in.ops[op].Inc()
+	in.lat.ObserveSince(start)
+	if err != nil && !errors.Is(err, ErrNotExist) {
+		in.errs[op].Inc()
+	}
+}
+
+// Put implements Store.
+func (in *Instrumented) Put(ctx context.Context, key string, data []byte) error {
+	start := time.Now()
+	err := in.inner.Put(ctx, key, data)
+	in.record("put", start, err)
+	if err == nil {
+		in.up.Add(int64(len(data)))
+	}
+	return err
+}
+
+// Get implements Store.
+func (in *Instrumented) Get(ctx context.Context, key string) ([]byte, error) {
+	start := time.Now()
+	data, err := in.inner.Get(ctx, key)
+	in.record("get", start, err)
+	if err == nil {
+		in.down.Add(int64(len(data)))
+	}
+	return data, err
+}
+
+// Delete implements Store.
+func (in *Instrumented) Delete(ctx context.Context, key string) error {
+	start := time.Now()
+	err := in.inner.Delete(ctx, key)
+	in.record("delete", start, err)
+	return err
+}
+
+// Stat implements Store.
+func (in *Instrumented) Stat(ctx context.Context, key string) (ObjectInfo, error) {
+	start := time.Now()
+	info, err := in.inner.Stat(ctx, key)
+	in.record("stat", start, err)
+	return info, err
+}
+
+// List implements Store.
+func (in *Instrumented) List(ctx context.Context, prefix string) ([]ObjectInfo, error) {
+	start := time.Now()
+	infos, err := in.inner.List(ctx, prefix)
+	in.record("list", start, err)
+	return infos, err
+}

@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"nsdfgo/internal/telemetry"
 )
 
 // ErrTransient marks an injected or retryable failure.
@@ -107,6 +109,7 @@ type Retry struct {
 
 	mu      sync.Mutex
 	retries int64
+	counter *telemetry.Counter
 }
 
 // NewRetry wraps inner with up to attempts tries per operation.
@@ -122,6 +125,14 @@ func (r *Retry) Retries() int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.retries
+}
+
+// InstrumentRetries mirrors the retry count into a telemetry registry as
+// nsdf_storage_retries_total{backend}.
+func (r *Retry) InstrumentRetries(reg *telemetry.Registry, backend string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counter = reg.Counter("nsdf_storage_retries_total", "backend", backend)
 }
 
 // permanent reports whether err must not be retried.
@@ -140,7 +151,11 @@ func (r *Retry) do(ctx context.Context, op func() error) error {
 		if attempt > 0 {
 			r.mu.Lock()
 			r.retries++
+			c := r.counter
 			r.mu.Unlock()
+			if c != nil {
+				c.Inc()
+			}
 			if delay > 0 {
 				t := time.NewTimer(delay)
 				select {

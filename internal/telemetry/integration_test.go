@@ -1,0 +1,88 @@
+package telemetry_test
+
+import (
+	"testing"
+
+	"nsdfgo/internal/dem"
+	"nsdfgo/internal/idx"
+	"nsdfgo/internal/query"
+	"nsdfgo/internal/telemetry"
+)
+
+// TestCacheCountersMatchReadStats reads a region cold, then re-reads it
+// warm, and checks that the registry's idx block counters agree with the
+// per-call ReadStats the dataset itself reports: the cold read is all
+// backend fetches, the warm re-read is all cache hits.
+func TestCacheCountersMatchReadStats(t *testing.T) {
+	meta, err := idx.NewMeta([]int{64, 64}, []idx.Field{{Name: "elevation", Type: idx.Float32, Codec: "zlib"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta.BitsPerBlock = 8
+	ds, err := idx.Create(idx.NewMemBackend(), meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteGrid("elevation", 0, dem.Scale(dem.FBM(64, 64, 3, dem.DefaultFBM()), 0, 2000)); err != nil {
+		t.Fatal(err)
+	}
+
+	eng := query.New(ds, 1<<20)
+	reg := telemetry.NewRegistry()
+	eng.Instrument(reg, "test")
+
+	blocksRead := reg.Counter("nsdf_idx_blocks_read_total", "dataset", "test")
+	blocksCached := reg.Counter("nsdf_idx_blocks_cached_total", "dataset", "test")
+	bytesRead := reg.Counter("nsdf_idx_bytes_read_total", "dataset", "test")
+
+	level := ds.Meta.MaxLevel()
+	_, cold, err := ds.ReadBox("elevation", 0, ds.FullBox(), level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.BlocksRead == 0 {
+		t.Fatal("cold read fetched no blocks; test needs a multi-block dataset")
+	}
+	if cold.BlocksCached != 0 {
+		t.Fatalf("cold read had %d cache hits, want 0", cold.BlocksCached)
+	}
+	if got := blocksRead.Value(); got != int64(cold.BlocksRead) {
+		t.Errorf("after cold read: blocks_read counter = %d, ReadStats.BlocksRead = %d", got, cold.BlocksRead)
+	}
+	if got := bytesRead.Value(); got != cold.BytesRead {
+		t.Errorf("after cold read: bytes_read counter = %d, ReadStats.BytesRead = %d", got, cold.BytesRead)
+	}
+
+	_, warm, err := ds.ReadBox("elevation", 0, ds.FullBox(), level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.BlocksRead != 0 {
+		t.Errorf("warm re-read fetched %d blocks from the backend, want 0", warm.BlocksRead)
+	}
+	if warm.BlocksCached != cold.BlocksRead {
+		t.Errorf("warm re-read served %d blocks from cache, want %d", warm.BlocksCached, cold.BlocksRead)
+	}
+	if got := blocksRead.Value(); got != int64(cold.BlocksRead) {
+		t.Errorf("after warm read: blocks_read counter = %d, want unchanged %d", got, cold.BlocksRead)
+	}
+	if got := blocksCached.Value(); got != int64(warm.BlocksCached) {
+		t.Errorf("blocks_cached counter = %d, ReadStats.BlocksCached = %d", got, warm.BlocksCached)
+	}
+
+	// The cache's own fn-backed series must agree too: one miss per
+	// cold-read block, one hit per warm-read block.
+	hits := reg.SumFamily("nsdf_cache_hits_total")
+	misses := reg.SumFamily("nsdf_cache_misses_total")
+	if int64(misses) != int64(cold.BlocksRead) {
+		t.Errorf("cache misses = %.0f, want %d", misses, cold.BlocksRead)
+	}
+	if int64(hits) != int64(warm.BlocksCached) {
+		t.Errorf("cache hits = %.0f, want %d", hits, warm.BlocksCached)
+	}
+
+	// Latency histogram saw both reads.
+	if snap := reg.Histogram("nsdf_idx_read_seconds", "dataset", "test").Snapshot(); snap.Count != 2 {
+		t.Errorf("read latency observations = %d, want 2", snap.Count)
+	}
+}
