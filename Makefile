@@ -1,9 +1,10 @@
 # Developer entry points. `make check` is the full gate: tier-1
-# (build + test, matching ROADMAP.md) plus vet and the race detector.
+# (build + test, matching ROADMAP.md) plus vet, the race detector, and a
+# 1-iteration smoke of the read-path benchmark harness.
 
 GO ?= go
 
-.PHONY: build test vet race check
+.PHONY: build test vet race check bench-readpath bench-readpath-smoke
 
 build:
 	$(GO) build ./...
@@ -17,5 +18,19 @@ vet:
 race:
 	$(GO) test -race ./...
 
-check: build test vet race
+# Measure the run-based HZ kernels against the per-sample reference path
+# and refresh BENCH_readpath.json (see README.md for how to read it),
+# then print the standard Go benchmark tables.
+bench-readpath:
+	NSDF_BENCH_READPATH_ITERS=5 NSDF_BENCH_READPATH_OUT=$(CURDIR)/BENCH_readpath.json \
+		$(GO) test ./internal/idx -run '^TestBenchReadpathEmit$$' -count=1 -v
+	$(GO) test ./internal/idx -run '^$$' -bench 'BenchmarkReadBoxKernel|BenchmarkWriteGridKernel' -benchmem -count=1
+
+# One-iteration smoke of the same harness, writing to a temp file: keeps
+# the benchmark code compiling and running under `make check` without
+# touching the committed BENCH_readpath.json.
+bench-readpath-smoke:
+	NSDF_BENCH_READPATH_ITERS=1 $(GO) test ./internal/idx -run '^TestBenchReadpathEmit$$' -count=1
+
+check: build test vet race bench-readpath-smoke
 	@echo "check: all gates passed"

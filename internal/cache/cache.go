@@ -63,6 +63,8 @@ func NewLRU(maxBytes int64) *LRU {
 }
 
 // Get returns the cached payload for key and marks it recently used.
+// The returned slice is the cache's own storage and must be treated as
+// read-only; Put copies, Get does not.
 func (c *LRU) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -76,25 +78,29 @@ func (c *LRU) Get(key string) ([]byte, bool) {
 	return el.Value.(*entry).data, true
 }
 
-// Put stores the payload under key. Payloads larger than the whole cache
-// are ignored. The caller must not mutate data after Put (payloads are
-// shared, not copied, to keep the hot path allocation-free; IDX block
-// payloads are immutable once decoded).
+// Put stores a copy of the payload under key. Payloads larger than the
+// whole cache are ignored. Copying decouples the cache from the caller:
+// a writer that keeps scribbling on its buffer after Put (block
+// read-modify-write paths do) cannot corrupt cached contents. Get still
+// returns the stored slice by reference, so Get callers must treat the
+// payload as read-only.
 func (c *LRU) Put(key string, data []byte) {
 	if c.maxBytes <= 0 || int64(len(data)) > c.maxBytes {
 		return
 	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		old := el.Value.(*entry)
-		c.curBytes += int64(len(data)) - int64(len(old.data))
-		old.data = data
+		c.curBytes += int64(len(cp)) - int64(len(old.data))
+		old.data = cp
 		c.ll.MoveToFront(el)
 	} else {
-		el := c.ll.PushFront(&entry{key: key, data: data})
+		el := c.ll.PushFront(&entry{key: key, data: cp})
 		c.items[key] = el
-		c.curBytes += int64(len(data))
+		c.curBytes += int64(len(cp))
 	}
 	for c.curBytes > c.maxBytes {
 		c.evictOldest()

@@ -188,3 +188,29 @@ func BenchmarkPutEvict(b *testing.B) {
 		c.Put(fmt.Sprintf("k%d", i), payload)
 	}
 }
+
+// TestPutCopiesPayload guards the block-aliasing contract: a caller that
+// keeps mutating its buffer after Put (read-modify-write paths do) must
+// not be able to alter cached contents.
+func TestPutCopiesPayload(t *testing.T) {
+	c := NewLRU(1 << 20)
+	buf := []byte{1, 2, 3, 4}
+	c.Put("k", buf)
+	buf[0] = 99
+	got, ok := c.Get("k")
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	if got[0] != 1 {
+		t.Fatalf("cached payload mutated through caller's slice: got %v", got)
+	}
+
+	// Replacing an existing key must also decouple from the new buffer.
+	buf2 := []byte{5, 6, 7, 8}
+	c.Put("k", buf2)
+	buf2[3] = 0
+	got, _ = c.Get("k")
+	if got[3] != 8 {
+		t.Fatalf("replacement payload mutated through caller's slice: got %v", got)
+	}
+}

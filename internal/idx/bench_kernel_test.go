@@ -1,0 +1,395 @@
+package idx
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"nsdfgo/internal/cache"
+	"nsdfgo/internal/compress"
+	"nsdfgo/internal/hz"
+	"nsdfgo/internal/raster"
+)
+
+// This file measures the run-based HZ kernels against the pre-kernel
+// per-sample path. readBoxPerSample and writeGridPerSample below are
+// faithful copies of the implementations this PR replaced (PointHZ per
+// output sample, map-backed block sets, HZToZ+Deinterleave per block
+// slot) so the before/after comparison stays runnable as both paths
+// evolve. Benchmarks run warm-cache: that isolates the addressing and
+// assembly work the kernels rewrite — the interactive dashboard
+// scenario — from backend and codec costs common to both paths.
+
+// readBoxPerSample is the pre-kernel ReadBox (PR 1 vintage).
+func readBoxPerSample(d *Dataset, field string, t int, box Box, level int) (*raster.Grid, *ReadStats, error) {
+	f, err := d.checkFieldTime(field, t)
+	if err != nil {
+		return nil, nil, err
+	}
+	codec, err := compress.Lookup(f.Codec)
+	if err != nil {
+		return nil, nil, err
+	}
+	mask := d.Meta.Bits
+	strides := mask.LevelStrides(level)
+	sx, sy := strides[0], strides[1]
+	ax0 := (box.X0 + sx - 1) / sx * sx
+	ay0 := (box.Y0 + sy - 1) / sy * sy
+	ow := (box.X1-1-ax0)/sx + 1
+	oh := (box.Y1-1-ay0)/sy + 1
+
+	out := raster.New(ow, oh)
+	stats := &ReadStats{Samples: ow * oh}
+	blockSamples := d.Meta.BlockSamples()
+	sz := f.Type.Size()
+	rawBlockLen := blockSamples * sz
+
+	addrs := make([]uint64, ow*oh)
+	needSet := map[int]bool{}
+	p := make([]int, 2)
+	for oy := 0; oy < oh; oy++ {
+		p[1] = ay0 + oy*sy
+		for ox := 0; ox < ow; ox++ {
+			p[0] = ax0 + ox*sx
+			hzAddr := mask.PointHZ(p)
+			addrs[oy*ow+ox] = hzAddr
+			needSet[int(hzAddr>>d.Meta.BitsPerBlock)] = true
+		}
+	}
+
+	blocks := make(map[int][]byte, len(needSet))
+	var misses []int
+	for b := range needSet {
+		if d.cache != nil {
+			if raw, ok := d.cache.Get(d.BlockKey(field, t, b)); ok {
+				stats.BlocksCached++
+				blocks[b] = raw
+				continue
+			}
+		}
+		misses = append(misses, b)
+	}
+	sort.Ints(misses)
+	for _, b := range misses {
+		raw, n, err := d.fetchBlock(field, t, b, codec, rawBlockLen)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.BlocksRead++
+		stats.BytesRead += n
+		blocks[b] = raw
+	}
+
+	for i, hzAddr := range addrs {
+		raw := blocks[int(hzAddr>>d.Meta.BitsPerBlock)]
+		off := int(hzAddr&uint64(blockSamples-1)) * sz
+		out.Data[i] = f.Type.getSample(raw[off:])
+	}
+	return out, stats, nil
+}
+
+// writeGridPerSample is the pre-kernel WriteGrid (PR 1 vintage).
+func writeGridPerSample(d *Dataset, field string, t int, g *raster.Grid) error {
+	f, err := d.checkFieldTime(field, t)
+	if err != nil {
+		return err
+	}
+	codec, err := compress.Lookup(f.Codec)
+	if err != nil {
+		return err
+	}
+	mask := d.Meta.Bits
+	m := mask.Bits()
+	blockSamples := d.Meta.BlockSamples()
+	numBlocks := d.Meta.NumBlocks()
+	sz := f.Type.Size()
+	w, h := g.W, g.H
+
+	workers := d.writeWorkers(numBlocks)
+	errCh := make(chan error, workers)
+	var next int
+	var mu sync.Mutex
+	takeBlock := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= numBlocks {
+			return -1
+		}
+		b := next
+		next++
+		return b
+	}
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := make([]int, mask.Dims())
+			buf := make([]byte, blockSamples*sz)
+			for {
+				b := takeBlock()
+				if b < 0 {
+					return
+				}
+				hz0 := uint64(b) << d.Meta.BitsPerBlock
+				for i := 0; i < blockSamples; i++ {
+					hzAddr := hz0 + uint64(i)
+					v := f.Fill
+					if hzAddr < uint64(1)<<m {
+						mask.Deinterleave(hz.HZToZ(hzAddr, m), p)
+						if p[0] < w && p[1] < h {
+							v = g.Data[p[1]*w+p[0]]
+						}
+					}
+					f.Type.putSample(buf[i*sz:], v)
+				}
+				enc, err := codec.Encode(buf)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if err := d.be.Put(d.BlockKey(field, t, b), enc); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// benchSide is the dataset geometry the acceptance criteria name:
+// 2048x2048 float32, raw codec, default 2^16-sample blocks.
+const benchSide = 2048
+
+// newKernelBenchDataset builds the benchmark dataset with a warm block
+// cache (one full-resolution read populates it).
+func newKernelBenchDataset(tb testing.TB) (*Dataset, *raster.Grid) {
+	tb.Helper()
+	meta, err := NewMeta([]int{benchSide, benchSide},
+		[]Field{{Name: "v", Type: Float32, Codec: "raw"}})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ds, err := Create(NewMemBackend(), meta)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	g := rampGrid(benchSide, benchSide)
+	if err := ds.WriteGrid("v", 0, g); err != nil {
+		tb.Fatal(err)
+	}
+	ds.SetCache(cache.NewLRU(64 << 20))
+	if _, _, err := ds.ReadFull("v", 0); err != nil {
+		tb.Fatal(err)
+	}
+	return ds, g
+}
+
+// verifyKernelAgreement cross-checks the two read paths sample for
+// sample before timing them.
+func verifyKernelAgreement(tb testing.TB, ds *Dataset) {
+	tb.Helper()
+	for _, level := range []int{ds.Meta.MaxLevel(), ds.Meta.MaxLevel() - 3, 5} {
+		want, _, err := readBoxPerSample(ds, "v", 0, ds.FullBox(), level)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		got, _, err := ds.ReadBox("v", 0, ds.FullBox(), level)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if len(want.Data) != len(got.Data) {
+			tb.Fatalf("level %d: kernel read %d samples, per-sample read %d", level, len(got.Data), len(want.Data))
+		}
+		for i := range want.Data {
+			if want.Data[i] != got.Data[i] {
+				tb.Fatalf("level %d sample %d: kernel %v, per-sample %v", level, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// BenchmarkReadBoxKernel compares the run-based streaming ReadBox
+// against the per-sample reference on a warm cache.
+func BenchmarkReadBoxKernel(b *testing.B) {
+	ds, _ := newKernelBenchDataset(b)
+	verifyKernelAgreement(b, ds)
+	box := ds.FullBox()
+	level := ds.Meta.MaxLevel()
+	b.Run("kernel", func(b *testing.B) {
+		b.SetBytes(int64(benchSide * benchSide * 4))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := ds.ReadBox("v", 0, box, level); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("persample", func(b *testing.B) {
+		b.SetBytes(int64(benchSide * benchSide * 4))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := readBoxPerSample(ds, "v", 0, box, level); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWriteGridKernel compares the run-based WriteGrid against the
+// per-sample reference.
+func BenchmarkWriteGridKernel(b *testing.B) {
+	ds, g := newKernelBenchDataset(b)
+	b.Run("kernel", func(b *testing.B) {
+		b.SetBytes(int64(benchSide * benchSide * 4))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := ds.WriteGrid("v", 0, g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("persample", func(b *testing.B) {
+		b.SetBytes(int64(benchSide * benchSide * 4))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := writeGridPerSample(ds, "v", 0, g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchSample is one measured configuration in BENCH_readpath.json.
+type benchSample struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	MsPerOp     float64 `json:"ms_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchComparison pairs the kernel and per-sample variants of one path.
+type benchComparison struct {
+	Kernel       benchSample `json:"kernel"`
+	PerSample    benchSample `json:"per_sample"`
+	Speedup      float64     `json:"speedup"`
+	AllocsFactor float64     `json:"allocs_reduction_factor"`
+}
+
+// TestBenchReadpathEmit measures both paths and writes BENCH_readpath.json.
+// It is gated on NSDF_BENCH_READPATH_ITERS (iteration count; unset or 0
+// skips) so plain `go test ./...` stays fast; NSDF_BENCH_READPATH_OUT
+// overrides the output path (default: a throwaway temp file, making the
+// 1-iteration smoke run in `make check` side-effect free).
+func TestBenchReadpathEmit(t *testing.T) {
+	iters, _ := strconv.Atoi(os.Getenv("NSDF_BENCH_READPATH_ITERS"))
+	if iters <= 0 {
+		t.Skip("set NSDF_BENCH_READPATH_ITERS>=1 to run the readpath benchmark emitter")
+	}
+	outPath := os.Getenv("NSDF_BENCH_READPATH_OUT")
+	if outPath == "" {
+		outPath = t.TempDir() + "/BENCH_readpath.json"
+	}
+	ds, g := newKernelBenchDataset(t)
+	verifyKernelAgreement(t, ds)
+	box := ds.FullBox()
+	level := ds.Meta.MaxLevel()
+
+	measure := func(fn func()) benchSample {
+		fn() // warm-up: key caches, page faults, cache population
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		ns := float64(elapsed.Nanoseconds()) / float64(iters)
+		return benchSample{
+			NsPerOp:     ns,
+			MsPerOp:     ns / 1e6,
+			AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters),
+		}
+	}
+	compare := func(kernel, perSample func()) benchComparison {
+		k := measure(kernel)
+		p := measure(perSample)
+		c := benchComparison{Kernel: k, PerSample: p}
+		if k.NsPerOp > 0 {
+			c.Speedup = p.NsPerOp / k.NsPerOp
+		}
+		if k.AllocsPerOp > 0 {
+			c.AllocsFactor = p.AllocsPerOp / k.AllocsPerOp
+		}
+		return c
+	}
+
+	read := compare(
+		func() {
+			if _, _, err := ds.ReadBox("v", 0, box, level); err != nil {
+				t.Fatal(err)
+			}
+		},
+		func() {
+			if _, _, err := readBoxPerSample(ds, "v", 0, box, level); err != nil {
+				t.Fatal(err)
+			}
+		},
+	)
+	write := compare(
+		func() {
+			if err := ds.WriteGrid("v", 0, g); err != nil {
+				t.Fatal(err)
+			}
+		},
+		func() {
+			if err := writeGridPerSample(ds, "v", 0, g); err != nil {
+				t.Fatal(err)
+			}
+		},
+	)
+
+	doc := struct {
+		Description string          `json:"description"`
+		Dataset     string          `json:"dataset"`
+		Iters       int             `json:"iterations"`
+		GOMAXPROCS  int             `json:"gomaxprocs"`
+		ReadBox     benchComparison `json:"read_box"`
+		WriteGrid   benchComparison `json:"write_grid"`
+	}{
+		Description: "Run-based HZ kernels vs the per-sample reference path; warm block cache, raw codec. Regenerate with `make bench-readpath`.",
+		Dataset:     fmt.Sprintf("%dx%d float32, 2^%d-sample blocks", benchSide, benchSide, ds.Meta.BitsPerBlock),
+		Iters:       iters,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		ReadBox:     read,
+		WriteGrid:   write,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("ReadBox: kernel %.1fms / %.0f allocs, per-sample %.1fms / %.0f allocs (%.1fx faster, %.1fx fewer allocs)",
+		read.Kernel.MsPerOp, read.Kernel.AllocsPerOp, read.PerSample.MsPerOp, read.PerSample.AllocsPerOp,
+		read.Speedup, read.AllocsFactor)
+	t.Logf("WriteGrid: kernel %.1fms, per-sample %.1fms (%.1fx faster)",
+		write.Kernel.MsPerOp, write.PerSample.MsPerOp, write.Speedup)
+	t.Logf("wrote %s", outPath)
+}

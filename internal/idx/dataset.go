@@ -11,8 +11,8 @@ package idx
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nsdfgo/internal/compress"
@@ -30,6 +30,11 @@ type Dataset struct {
 	parallelism      int
 	writeParallelism int
 	tel              *dsMetrics
+
+	// keyMu guards keyCache, the lazily built per-(field,timestep) table
+	// of block object names (see blockKeys).
+	keyMu    sync.Mutex
+	keyCache map[keyCacheID][]string
 }
 
 // BlockCache is an optional block-level cache consulted before the
@@ -140,7 +145,12 @@ func (d *Dataset) writeWorkers(numBlocks int) int {
 // fetchBlock gets one block from the backend, decodes it, and offers it
 // to the cache. It returns the decoded payload and the compressed size.
 func (d *Dataset) fetchBlock(field string, t, b int, codec compress.Codec, rawBlockLen int) ([]byte, int64, error) {
-	key := d.BlockKey(field, t, b)
+	return d.fetchBlockKey(d.BlockKey(field, t, b), b, codec, rawBlockLen)
+}
+
+// fetchBlockKey is fetchBlock with the object name precomputed, so hot
+// paths holding a blockKeys table skip the formatting.
+func (d *Dataset) fetchBlockKey(key string, b int, codec compress.Codec, rawBlockLen int) ([]byte, int64, error) {
 	enc, err := d.be.Get(key)
 	if err != nil {
 		return nil, 0, fmt.Errorf("idx: block %d: %w", b, err)
@@ -198,7 +208,6 @@ func (d *Dataset) WriteGrid(field string, t int, g *raster.Grid) error {
 		return err
 	}
 	mask := d.Meta.Bits
-	m := mask.Bits()
 	blockSamples := d.Meta.BlockSamples()
 	numBlocks := d.Meta.NumBlocks()
 	sz := f.Type.Size()
@@ -211,54 +220,105 @@ func (d *Dataset) WriteGrid(field string, t int, g *raster.Grid) error {
 		}
 	}()
 
+	// Plan: decompose the full-resolution grid into HZ runs grouped by
+	// block. Each run gathers a strided span of the row-major grid into a
+	// contiguous span of a block, replacing the old per-sample
+	// HZToZ+Deinterleave walk over every block slot.
+	runs, spans := d.planRuns(hz.RunQuery{NX: w, NY: h, Level: mask.Bits(), OutW: w})
+	// spanAt[b] indexes spans for block b, or -1 when no grid sample maps
+	// into the block (pure padding).
+	spanAt := make([]int, numBlocks)
+	for i := range spanAt {
+		spanAt[i] = -1
+	}
+	for i, sp := range spans {
+		spanAt[sp.block] = i
+	}
+	keys := d.blockKeys(field, t)
+	blockKey := func(b int) string {
+		if keys != nil {
+			return keys[b]
+		}
+		return d.BlockKey(field, t, b)
+	}
+
+	// Fill template: padding samples (outside the logical dims) store the
+	// field's fill value. Blocks with no grid samples at all share one
+	// pre-encoded payload.
+	fillVals := make([]float32, blockSamples)
+	for i := range fillVals {
+		fillVals[i] = f.Fill
+	}
+	rawFill := make([]byte, blockSamples*sz)
+	f.Type.encodeBlock(rawFill, fillVals)
+	var fillEnc []byte
+	if len(spans) < numBlocks {
+		fillEnc, err = codec.Encode(rawFill)
+		if err != nil {
+			return fmt.Errorf("idx: encode fill block: %w", err)
+		}
+	}
+
 	// Write blocks in parallel: each worker owns whole blocks, so no
 	// shared mutable state beyond the (concurrency-safe) backend. The
 	// worker count honours SetWriteParallelism, matching the read path's
-	// SetFetchParallelism knob.
+	// SetFetchParallelism knob. The aborted flag fails the whole write
+	// fast once any worker hits an encode or store error, instead of
+	// letting the others finish every remaining block.
 	workers := d.writeWorkers(numBlocks)
 	errCh := make(chan error, workers)
-	var next int
-	var mu sync.Mutex
-	takeBlock := func() int {
-		mu.Lock()
-		defer mu.Unlock()
-		if next >= numBlocks {
-			return -1
-		}
-		b := next
-		next++
-		return b
-	}
+	var aborted atomic.Bool
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			p := make([]int, mask.Dims())
+			vals := make([]float32, blockSamples)
 			buf := make([]byte, blockSamples*sz)
 			for {
-				b := takeBlock()
-				if b < 0 {
+				if aborted.Load() {
 					return
 				}
-				hz0 := uint64(b) << d.Meta.BitsPerBlock
-				for i := 0; i < blockSamples; i++ {
-					hzAddr := hz0 + uint64(i)
-					v := f.Fill
-					if hzAddr < uint64(1)<<m {
-						mask.Deinterleave(hz.HZToZ(hzAddr, m), p)
-						if p[0] < w && p[1] < h {
-							v = g.Data[p[1]*w+p[0]]
+				b := int(next.Add(1)) - 1
+				if b >= numBlocks {
+					return
+				}
+				enc := fillEnc
+				if si := spanAt[b]; si >= 0 {
+					sp := spans[si]
+					covered := 0
+					for _, r := range runs[sp.lo:sp.hi] {
+						covered += int(r.N)
+					}
+					if covered < blockSamples {
+						copy(vals, fillVals)
+					}
+					hz0 := uint64(b) << d.Meta.BitsPerBlock
+					for _, r := range runs[sp.lo:sp.hi] {
+						off := int(r.HZ - hz0)
+						n := int(r.N)
+						if step := int(r.OutStep); step == 1 {
+							copy(vals[off:off+n], g.Data[r.Out:r.Out+n])
+						} else {
+							src := r.Out
+							for i := 0; i < n; i++ {
+								vals[off+i] = g.Data[src]
+								src += step
+							}
 						}
 					}
-					f.Type.putSample(buf[i*sz:], v)
+					f.Type.encodeBlock(buf, vals)
+					var err error
+					enc, err = codec.Encode(buf)
+					if err != nil {
+						aborted.Store(true)
+						errCh <- fmt.Errorf("idx: encode block %d: %w", b, err)
+						return
+					}
 				}
-				enc, err := codec.Encode(buf)
-				if err != nil {
-					errCh <- fmt.Errorf("idx: encode block %d: %w", b, err)
-					return
-				}
-				if err := d.be.Put(d.BlockKey(field, t, b), enc); err != nil {
+				if err := d.be.Put(blockKey(b), enc); err != nil {
+					aborted.Store(true)
 					errCh <- fmt.Errorf("idx: store block %d: %w", b, err)
 					return
 				}
@@ -320,6 +380,10 @@ type ReadStats struct {
 	BytesRead int64
 	// Samples counts samples delivered to the caller.
 	Samples int
+	// Runs counts the HZ address runs the query planned; Samples/Runs is
+	// the mean run length, a direct measure of how much bulk copying the
+	// run kernels achieved over per-sample addressing.
+	Runs int
 }
 
 // ReadBox extracts the level-L lattice samples of the named field within
@@ -367,76 +431,87 @@ func (d *Dataset) ReadBox(field string, t int, box Box, level int) (*raster.Grid
 	sz := f.Type.Size()
 	rawBlockLen := blockSamples * sz
 
-	// Phase 1: plan. Compute every sample's HZ address once and collect
-	// the set of blocks the query touches.
-	addrs := make([]uint64, ow*oh)
-	needSet := map[int]bool{}
-	p := make([]int, 2)
-	for oy := 0; oy < oh; oy++ {
-		p[1] = ay0 + oy*sy
-		for ox := 0; ox < ow; ox++ {
-			p[0] = ax0 + ox*sx
-			hzAddr := mask.PointHZ(p)
-			addrs[oy*ow+ox] = hzAddr
-			needSet[int(hzAddr>>d.Meta.BitsPerBlock)] = true
+	// Phase 1: plan. Decompose the query into runs of consecutive HZ
+	// addresses grouped by block (per-run cost, not per-sample), instead
+	// of interleaving every output sample and collecting map-backed block
+	// sets.
+	runs, spans := d.planRuns(hz.RunQuery{
+		X0: ax0, Y0: ay0, NX: ow, NY: oh, Level: level, OutW: ow,
+	})
+	stats.Runs = len(runs)
+	keys := d.blockKeys(field, t)
+	blockKey := func(b int) string {
+		if keys != nil {
+			return keys[b]
+		}
+		return d.BlockKey(field, t, b)
+	}
+	// assemble scatters one decoded block into the output grid: each run
+	// is a contiguous block span copied to a strided grid span with the
+	// type switch hoisted out of the loop.
+	assemble := func(raw []byte, sp blockSpan) {
+		for _, r := range runs[sp.lo:sp.hi] {
+			off := int(r.HZ&uint64(blockSamples-1)) * sz
+			f.Type.decodeInto(out.Data[r.Out:], int(r.OutStep), raw[off:], int(r.N))
 		}
 	}
 
-	// Phase 2: fetch. Cached blocks are taken first; the misses are
-	// fetched from the backend with bounded parallelism, which hides
-	// round-trip latency on remote stores.
-	blocks := make(map[int][]byte, len(needSet))
-	var misses []int
-	for b := range needSet {
+	// Phase 2: stream. Cached blocks are assembled immediately; misses
+	// are fetched from the backend with bounded parallelism and each
+	// block is assembled the moment its fetch completes, so assembly
+	// overlaps the remaining fetches instead of waiting behind a barrier.
+	miss := spans[:0]
+	for _, sp := range spans {
 		if d.cache != nil {
-			if raw, ok := d.cache.Get(d.BlockKey(field, t, b)); ok {
+			if raw, ok := d.cache.Get(blockKey(sp.block)); ok {
 				stats.BlocksCached++
-				blocks[b] = raw
+				assemble(raw, sp)
 				continue
 			}
 		}
-		misses = append(misses, b)
+		miss = append(miss, sp)
 	}
-	sort.Ints(misses) // deterministic fetch order (and sequential on disk)
+	// Spans are already in ascending block order: deterministic fetch
+	// order, sequential on disk.
 	workers := d.fetchParallelism()
-	if workers > len(misses) {
-		workers = len(misses)
+	if workers > len(miss) {
+		workers = len(miss)
 	}
 	if workers <= 1 {
-		for _, b := range misses {
-			raw, n, err := d.fetchBlock(field, t, b, codec, rawBlockLen)
+		for _, sp := range miss {
+			raw, n, err := d.fetchBlockKey(blockKey(sp.block), sp.block, codec, rawBlockLen)
 			if err != nil {
 				return nil, nil, err
 			}
 			stats.BlocksRead++
 			stats.BytesRead += n
-			blocks[b] = raw
+			assemble(raw, sp)
 		}
 	} else {
 		type fetched struct {
-			b   int
+			sp  blockSpan
 			raw []byte
 			n   int64
 			err error
 		}
-		work := make(chan int)
+		work := make(chan blockSpan)
 		results := make(chan fetched)
 		for wk := 0; wk < workers; wk++ {
 			go func() {
-				for b := range work {
-					raw, n, err := d.fetchBlock(field, t, b, codec, rawBlockLen)
-					results <- fetched{b: b, raw: raw, n: n, err: err}
+				for sp := range work {
+					raw, n, err := d.fetchBlockKey(blockKey(sp.block), sp.block, codec, rawBlockLen)
+					results <- fetched{sp: sp, raw: raw, n: n, err: err}
 				}
 			}()
 		}
 		go func() {
-			for _, b := range misses {
-				work <- b
+			for _, sp := range miss {
+				work <- sp
 			}
 			close(work)
 		}()
 		var firstErr error
-		for range misses {
+		for range miss {
 			r := <-results
 			if r.err != nil {
 				if firstErr == nil {
@@ -446,19 +521,13 @@ func (d *Dataset) ReadBox(field string, t int, box Box, level int) (*raster.Grid
 			}
 			stats.BlocksRead++
 			stats.BytesRead += r.n
-			blocks[r.b] = r.raw
+			assemble(r.raw, r.sp)
 		}
 		if firstErr != nil {
 			return nil, nil, firstErr
 		}
 	}
 
-	// Phase 3: assemble the output grid from the decoded blocks.
-	for i, hzAddr := range addrs {
-		raw := blocks[int(hzAddr>>d.Meta.BitsPerBlock)]
-		off := int(hzAddr&uint64(blockSamples-1)) * sz
-		out.Data[i] = f.Type.getSample(raw[off:])
-	}
 	if d.Meta.Geo != nil {
 		out.Geo = &raster.Georef{
 			OriginX: d.Meta.Geo.OriginX + float64(ax0)*d.Meta.Geo.PixelW,

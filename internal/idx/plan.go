@@ -1,0 +1,153 @@
+package idx
+
+import (
+	"slices"
+
+	"nsdfgo/internal/hz"
+)
+
+// This file builds the block plan behind the streaming ReadBox/WriteGrid
+// paths: the query box is decomposed into HZ runs (see hz.HZRuns), the
+// runs are grouped by storage block, and each block's slice of the plan
+// is described by a blockSpan. Grouping uses a counting scatter keyed on
+// block id — runs of a large read number in the millions, and a
+// comparison sort at that size would eat most of the kernel's win.
+
+// blockSpan is one storage block's slice of a grouped run plan.
+type blockSpan struct {
+	// block is the block index (HZ address >> BitsPerBlock).
+	block int
+	// lo, hi bound the block's runs in the plan slice, half-open.
+	lo, hi int
+}
+
+// runBlock returns the block id owning run r. HZRuns is invoked with
+// SplitShift = BitsPerBlock, so a run never straddles two blocks.
+func (d *Dataset) runBlock(r hz.Run) int {
+	return int(r.HZ >> d.Meta.BitsPerBlock)
+}
+
+// planRuns decomposes the query into HZ runs grouped by ascending block
+// id and returns the grouped runs plus one span per touched block. The
+// plan phase performs no per-sample work: its cost is proportional to
+// the number of runs, not the number of samples.
+func (d *Dataset) planRuns(q hz.RunQuery) ([]hz.Run, []blockSpan) {
+	q.SplitShift = d.Meta.BitsPerBlock
+	// Worst-case run count is one per sample, but even fully alternating
+	// masks (the worst realistic case: every other exact level decomposes
+	// into runs of 1) stay under 3/4 of the sample count.
+	est := q.NX*q.NY/4*3 + 16
+	runs := d.Meta.Bits.HZRuns(make([]hz.Run, 0, est), q)
+	if len(runs) == 0 {
+		return runs, nil
+	}
+
+	minB, maxB := d.runBlock(runs[0]), d.runBlock(runs[0])
+	for i := 1; i < len(runs); i++ {
+		b := d.runBlock(runs[i])
+		if b < minB {
+			minB = b
+		}
+		if b > maxB {
+			maxB = b
+		}
+	}
+	width := maxB - minB + 1
+	if width > 2*len(runs)+1024 {
+		// Pathologically sparse block range: fall back to a comparison
+		// sort rather than allocating a huge counting table.
+		slices.SortFunc(runs, func(a, b hz.Run) int {
+			switch {
+			case a.HZ < b.HZ:
+				return -1
+			case a.HZ > b.HZ:
+				return 1
+			}
+			return 0
+		})
+		return runs, spansOfGrouped(runs, d.Meta.BitsPerBlock)
+	}
+
+	// Counting scatter: bucket counts, prefix sums, then a stable scatter
+	// into a second slice. Two linear passes, no comparisons.
+	counts := make([]int, width+1)
+	blocks := 0
+	for _, r := range runs {
+		i := d.runBlock(r) - minB
+		if counts[i+1] == 0 {
+			blocks++
+		}
+		counts[i+1]++
+	}
+	for i := 1; i <= width; i++ {
+		counts[i] += counts[i-1]
+	}
+	spans := make([]blockSpan, 0, blocks)
+	for i := 0; i < width; i++ {
+		if counts[i+1] > counts[i] {
+			spans = append(spans, blockSpan{block: minB + i, lo: counts[i], hi: counts[i+1]})
+		}
+	}
+	grouped := make([]hz.Run, len(runs))
+	for _, r := range runs {
+		i := d.runBlock(r) - minB
+		grouped[counts[i]] = r
+		counts[i]++
+	}
+	return grouped, spans
+}
+
+// spansOfGrouped derives block spans from an already block-grouped run
+// slice.
+func spansOfGrouped(runs []hz.Run, bpb int) []blockSpan {
+	var spans []blockSpan
+	for i := 0; i < len(runs); {
+		b := int(runs[i].HZ >> bpb)
+		j := i + 1
+		for j < len(runs) && int(runs[j].HZ>>bpb) == b {
+			j++
+		}
+		spans = append(spans, blockSpan{block: b, lo: i, hi: j})
+		i = j
+	}
+	return spans
+}
+
+// maxKeyCacheBlocks bounds the per-(field,timestep) block-key cache: key
+// strings are only precomputed for datasets small enough that the table
+// stays a few hundred KB.
+const maxKeyCacheBlocks = 4096
+
+type keyCacheID struct {
+	field string
+	t     int
+}
+
+// blockKeys returns the cached object names of every block of one
+// field/timestep, building them on first use. Formatting a block key
+// costs several allocations (fmt.Sprintf), which used to dominate the
+// warm-cache read path; amortising it once per dataset makes repeated
+// dashboard reads allocation-free in the plan and assembly phases. For
+// datasets above maxKeyCacheBlocks blocks it returns nil and callers
+// fall back to formatting on demand.
+func (d *Dataset) blockKeys(field string, t int) []string {
+	n := d.Meta.NumBlocks()
+	if n > maxKeyCacheBlocks {
+		return nil
+	}
+	id := keyCacheID{field: field, t: t}
+	d.keyMu.Lock()
+	defer d.keyMu.Unlock()
+	if keys, ok := d.keyCache[id]; ok {
+		return keys
+	}
+	keys := make([]string, n)
+	for b := 0; b < n; b++ {
+		keys[b] = d.BlockKey(field, t, b)
+	}
+	if d.keyCache == nil {
+		d.keyCache = make(map[keyCacheID][]string)
+	}
+	d.keyCache[id] = keys
+	return keys
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nsdfgo/internal/compress"
+	"nsdfgo/internal/hz"
 	"nsdfgo/internal/raster"
 )
 
@@ -43,29 +44,23 @@ func (d *Dataset) WriteRegion(field string, t int, x0, y0 int, g *raster.Grid) e
 	sz := f.Type.Size()
 	rawBlockLen := blockSamples * sz
 
-	// Plan: HZ address of every region sample, grouped by block.
-	type sample struct {
-		off int // byte offset within the block
-		v   float32
-	}
-	perBlock := map[int][]sample{}
-	p := make([]int, 2)
-	for ry := 0; ry < g.H; ry++ {
-		p[1] = y0 + ry
-		for rx := 0; rx < g.W; rx++ {
-			p[0] = x0 + rx
-			hzAddr := mask.PointHZ(p)
-			b := int(hzAddr >> d.Meta.BitsPerBlock)
-			perBlock[b] = append(perBlock[b], sample{
-				off: int(hzAddr&uint64(blockSamples-1)) * sz,
-				v:   g.Data[ry*g.W+rx],
-			})
-		}
-	}
+	// Plan: decompose the region into HZ runs grouped by block, so each
+	// block update is a handful of bulk encodeFrom gathers instead of a
+	// per-sample PointHZ + putSample walk through map-backed sample lists.
+	runs, spans := d.planRuns(hz.RunQuery{
+		X0: x0, Y0: y0, NX: g.W, NY: g.H, Level: mask.Bits(), OutW: g.W,
+	})
+	keys := d.blockKeys(field, t)
 
-	// Read-modify-write each touched block.
-	for b, samples := range perBlock {
-		key := d.BlockKey(field, t, b)
+	// Read-modify-write each touched block, in ascending block order.
+	for _, sp := range spans {
+		b := sp.block
+		key := ""
+		if keys != nil {
+			key = keys[b]
+		} else {
+			key = d.BlockKey(field, t, b)
+		}
 		var raw []byte
 		enc, err := d.be.Get(key)
 		switch {
@@ -79,14 +74,16 @@ func (d *Dataset) WriteRegion(field string, t int, x0, y0 int, g *raster.Grid) e
 			// not-yet-written samples, and pow2 padding) starts at the
 			// field's fill value.
 			raw = make([]byte, rawBlockLen)
-			for i := 0; i < blockSamples; i++ {
-				f.Type.putSample(raw[i*sz:], f.Fill)
+			f.Type.putSample(raw, f.Fill)
+			for i := 1; i < blockSamples; i++ {
+				copy(raw[i*sz:(i+1)*sz], raw[:sz])
 			}
 		default:
 			return fmt.Errorf("idx: read block %d: %w", b, err)
 		}
-		for _, s := range samples {
-			f.Type.putSample(raw[s.off:], s.v)
+		for _, r := range runs[sp.lo:sp.hi] {
+			off := int(r.HZ&uint64(blockSamples-1)) * sz
+			f.Type.encodeFrom(raw[off:], g.Data[r.Out:], int(r.OutStep), int(r.N))
 		}
 		encOut, err := codec.Encode(raw)
 		if err != nil {

@@ -12,6 +12,7 @@ type dsMetrics struct {
 	blocksWritten *telemetry.Counter
 	bytesRead     *telemetry.Counter
 	bytesWritten  *telemetry.Counter
+	readRuns      *telemetry.Counter
 	readSeconds   *telemetry.Histogram
 	writeSeconds  *telemetry.Histogram
 }
@@ -24,6 +25,7 @@ type dsMetrics struct {
 //	nsdf_idx_blocks_written_total{dataset}  blocks stored
 //	nsdf_idx_bytes_read_total{dataset}      compressed bytes fetched
 //	nsdf_idx_bytes_written_total{dataset}   compressed bytes stored
+//	nsdf_idx_read_runs_total{dataset}       planned HZ address runs (see ReadStats.Runs)
 //	nsdf_idx_read_seconds{dataset}          ReadBox/ReadBox3D latency
 //	nsdf_idx_write_seconds{dataset}         WriteGrid/WriteVolume latency
 func (d *Dataset) SetTelemetry(reg *telemetry.Registry, dataset string) {
@@ -37,6 +39,7 @@ func (d *Dataset) SetTelemetry(reg *telemetry.Registry, dataset string) {
 		blocksWritten: reg.Counter("nsdf_idx_blocks_written_total", "dataset", dataset),
 		bytesRead:     reg.Counter("nsdf_idx_bytes_read_total", "dataset", dataset),
 		bytesWritten:  reg.Counter("nsdf_idx_bytes_written_total", "dataset", dataset),
+		readRuns:      reg.Counter("nsdf_idx_read_runs_total", "dataset", dataset),
 		readSeconds:   reg.Histogram("nsdf_idx_read_seconds", "dataset", dataset),
 		writeSeconds:  reg.Histogram("nsdf_idx_write_seconds", "dataset", dataset),
 	}
@@ -51,6 +54,7 @@ func (d *Dataset) recordRead(stats *ReadStats) {
 	t.blocksRead.Add(int64(stats.BlocksRead))
 	t.blocksCached.Add(int64(stats.BlocksCached))
 	t.bytesRead.Add(stats.BytesRead)
+	t.readRuns.Add(int64(stats.Runs))
 }
 
 // recordBlockWrite books one stored block.

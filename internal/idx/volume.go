@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nsdfgo/internal/compress"
@@ -80,20 +81,12 @@ func (d *Dataset) WriteVolume(field string, t int, data []float32) error {
 		}
 	}()
 
+	// The aborted flag mirrors WriteGrid's early abort: one worker's
+	// encode/store failure stops the others at their next block claim.
 	workers := d.writeWorkers(numBlocks)
 	errCh := make(chan error, workers)
-	var next int
-	var mu sync.Mutex
-	takeBlock := func() int {
-		mu.Lock()
-		defer mu.Unlock()
-		if next >= numBlocks {
-			return -1
-		}
-		b := next
-		next++
-		return b
-	}
+	var aborted atomic.Bool
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
@@ -102,8 +95,11 @@ func (d *Dataset) WriteVolume(field string, t int, data []float32) error {
 			p := make([]int, 3)
 			buf := make([]byte, blockSamples*sz)
 			for {
-				b := takeBlock()
-				if b < 0 {
+				if aborted.Load() {
+					return
+				}
+				b := int(next.Add(1)) - 1
+				if b >= numBlocks {
 					return
 				}
 				hz0 := uint64(b) << d.Meta.BitsPerBlock
@@ -120,10 +116,12 @@ func (d *Dataset) WriteVolume(field string, t int, data []float32) error {
 				}
 				enc, err := codec.Encode(buf)
 				if err != nil {
+					aborted.Store(true)
 					errCh <- fmt.Errorf("idx: encode block %d: %w", b, err)
 					return
 				}
 				if err := d.be.Put(d.BlockKey(field, t, b), enc); err != nil {
+					aborted.Store(true)
 					errCh <- fmt.Errorf("idx: store block %d: %w", b, err)
 					return
 				}
@@ -201,20 +199,31 @@ func (d *Dataset) ReadBox3D(field string, t int, box Box3, level int) (*Volume3,
 	sz := f.Type.Size()
 	rawBlockLen := blockSamples * sz
 
-	// Plan.
+	// Plan: interleave each x-row incrementally (InterleaveRow's masked
+	// increments) instead of re-interleaving every sample, then convert
+	// to HZ. The block set stays map-backed — 3D reads are not yet on the
+	// run-based streaming pipeline — but consecutive duplicates are
+	// skipped before touching the map.
 	addrs := make([]uint64, total)
+	rowZ := make([]uint64, dims[0])
 	needSet := map[int]bool{}
+	m := mask.Bits()
 	p := make([]int, 3)
 	i := 0
+	lastB := -1
 	for oz := 0; oz < dims[2]; oz++ {
 		p[2] = a[2] + oz*strides[2]
 		for oy := 0; oy < dims[1]; oy++ {
 			p[1] = a[1] + oy*strides[1]
+			p[0] = a[0]
+			mask.InterleaveRow(rowZ, p, 0, strides[0])
 			for ox := 0; ox < dims[0]; ox++ {
-				p[0] = a[0] + ox*strides[0]
-				hzAddr := mask.PointHZ(p)
+				hzAddr := hz.ZToHZ(rowZ[ox], m)
 				addrs[i] = hzAddr
-				needSet[int(hzAddr>>d.Meta.BitsPerBlock)] = true
+				if b := int(hzAddr >> d.Meta.BitsPerBlock); b != lastB {
+					needSet[b] = true
+					lastB = b
+				}
 				i++
 			}
 		}
