@@ -1,10 +1,11 @@
 # Developer entry points. `make check` is the full gate: tier-1
-# (build + test, matching ROADMAP.md) plus vet, the race detector, and a
+# (build + test, matching ROADMAP.md) plus vet, the race detector, the
+# nsdf-lint analyzer suite, a 5-second smoke of each fuzz target, and a
 # 1-iteration smoke of the read-path benchmark harness.
 
 GO ?= go
 
-.PHONY: build test vet race check bench-readpath bench-readpath-smoke
+.PHONY: build test vet race lint fuzz-smoke check bench-readpath bench-readpath-smoke
 
 build:
 	$(GO) build ./...
@@ -17,6 +18,17 @@ vet:
 
 race:
 	$(GO) test -race ./...
+
+# Run the in-repo analyzer suite (internal/lint) over every package.
+# Exit 1 means findings; fix them or annotate with //lint:allow <name>.
+lint:
+	$(GO) run ./cmd/nsdf-lint ./...
+
+# Briefly run each native fuzz target so the fuzz harnesses stay
+# compiling and the properties hold on fresh coverage-guided inputs.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzSniff$$' -fuzztime=5s ./internal/convert
+	$(GO) test -run '^$$' -fuzz '^FuzzHZRuns$$' -fuzztime=5s ./internal/hz
 
 # Measure the run-based HZ kernels against the per-sample reference path
 # and refresh BENCH_readpath.json (see README.md for how to read it),
@@ -32,5 +44,5 @@ bench-readpath:
 bench-readpath-smoke:
 	NSDF_BENCH_READPATH_ITERS=1 $(GO) test ./internal/idx -run '^TestBenchReadpathEmit$$' -count=1
 
-check: build test vet race bench-readpath-smoke
+check: build test vet race lint fuzz-smoke bench-readpath-smoke
 	@echo "check: all gates passed"

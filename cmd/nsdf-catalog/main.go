@@ -72,9 +72,12 @@ func run() error {
 		f, err := os.Open(*file)
 		if err == nil {
 			loaded, lerr := catalog.Load(f)
-			f.Close()
+			cerr := f.Close()
 			if lerr != nil {
 				return lerr
+			}
+			if cerr != nil {
+				return cerr
 			}
 			cat = loaded
 			fmt.Fprintf(os.Stderr, "loaded %d records from %s\n", cat.Len(), *file)

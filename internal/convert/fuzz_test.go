@@ -1,0 +1,48 @@
+package convert
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzSniff throws arbitrary names and payloads at the format sniffer.
+// Properties: it never panics; a TIFF verdict implies the full 4-byte
+// magic was present (truncated "II"/"MM" prefixes must not be routed to
+// the TIFF decoder — the bug class PR 1 fixed); and a recognised format
+// is mutually exclusive with an error.
+func FuzzSniff(f *testing.F) {
+	f.Add("a.tif", []byte("II*\x00rest-of-header"))
+	f.Add("a.tif", []byte("MM\x00*rest-of-header"))
+	f.Add("trunc.tif", []byte("II*"))
+	f.Add("trunc.tif", []byte("II"))
+	f.Add("trunc.tif", []byte("MM\x00"))
+	f.Add("a.nc", []byte("CDF\x01payload"))
+	f.Add("a.nc", []byte("CDF"))
+	f.Add("a.h5", []byte("\x89HDF\r\n\x1a\npayload"))
+	f.Add("a.png", []byte("\x89PNG\r\n\x1a\npayload"))
+	f.Add("a.raw", []byte{})
+	f.Add("a.F32", []byte("II"))
+	f.Add("noext", []byte("anything"))
+
+	f.Fuzz(func(t *testing.T, name string, data []byte) {
+		format, err := Sniff(name, data)
+		if (format != "") == (err != nil) {
+			t.Fatalf("Sniff(%q, %d bytes) = (%q, %v); want exactly one of format/error", name, len(data), format, err)
+		}
+		switch format {
+		case FormatTIFF:
+			if len(data) < 4 || (string(data[:4]) != "II*\x00" && string(data[:4]) != "MM\x00*") {
+				t.Fatalf("Sniff(%q) = tiff without the full 4-byte magic: % x", name, data[:min(len(data), 4)])
+			}
+		case FormatPNG:
+			if len(data) < 8 || string(data[:8]) != "\x89PNG\r\n\x1a\n" {
+				t.Fatalf("Sniff(%q) = png without the PNG signature", name)
+			}
+		case FormatRaw:
+			ext := strings.ToLower(name[strings.LastIndex(name, ".")+1:])
+			if ext != "raw" && ext != "bin" && ext != "f32" {
+				t.Fatalf("Sniff(%q) = raw with extension %q", name, ext)
+			}
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package hz
+
+import "testing"
+
+// fuzzMasks is the pool of bitmasks the fuzzer selects from; the raw
+// fuzz bytes pick one and shape the query, so every generated case is a
+// valid mask with arbitrary level, box, and block split.
+var fuzzMasks = []string{
+	"V01", "V10", "V0101", "V1100", "V010101", "V000111",
+	"V111000", "V0101010", "V1100110", "V01010101", "V0110100101",
+}
+
+// FuzzHZRuns drives the run-decomposition kernel with fuzzer-chosen
+// masks, levels, boxes, and splits, and checks every emitted sample
+// against the per-sample PointHZ oracle — the same contract
+// TestHZRunsMatchPerSample pins on random inputs, here steered by the
+// coverage-guided mutator.
+func FuzzHZRuns(f *testing.F) {
+	f.Add(uint8(3), uint8(4), uint8(0), uint8(9), uint8(5), uint8(11), uint8(2))
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0))
+	f.Add(uint8(9), uint8(8), uint8(3), uint8(7), uint8(1), uint8(200), uint8(6))
+
+	f.Fuzz(func(t *testing.T, maskSel, level, rx0, rx1, ry0, ry1, rsplit uint8) {
+		b := MustParse(fuzzMasks[int(maskSel)%len(fuzzMasks)])
+		m := b.Bits()
+		L := int(level) % (m + 1)
+		s := b.LevelStrides(L)
+		sx, sy := s[0], s[1]
+		dims := b.Pow2Dims()
+
+		x0 := int(rx0) % dims[0]
+		x1 := x0 + 1 + int(rx1)%(dims[0]-x0)
+		y0 := int(ry0) % dims[1]
+		y1 := y0 + 1 + int(ry1)%(dims[1]-y0)
+		// Align the half-open box to the level lattice the way ReadBox does.
+		ax0 := (x0 + sx - 1) / sx * sx
+		ay0 := (y0 + sy - 1) / sy * sy
+		if ax0 >= x1 || ay0 >= y1 {
+			t.Skip("box contains no lattice samples")
+		}
+		nx := (x1-1-ax0)/sx + 1
+		ny := (y1-1-ay0)/sy + 1
+		split := int(rsplit) % (m + 1) // 0 = no block splitting
+
+		runs := b.HZRuns(nil, RunQuery{
+			X0: ax0, Y0: ay0, NX: nx, NY: ny, Level: L, OutW: nx, SplitShift: split,
+		})
+
+		got := make(map[int]uint64, nx*ny)
+		for _, run := range runs {
+			if run.N <= 0 {
+				t.Fatalf("run %+v has non-positive length", run)
+			}
+			if split > 0 && run.HZ>>split != (run.HZ+uint64(run.N)-1)>>split {
+				t.Fatalf("run %+v crosses block boundary at shift %d", run, split)
+			}
+			for i := 0; i < int(run.N); i++ {
+				out := run.Out + i*int(run.OutStep)
+				if _, dup := got[out]; dup {
+					t.Fatalf("output %d covered twice", out)
+				}
+				got[out] = run.HZ + uint64(i)
+			}
+		}
+		if len(got) != nx*ny {
+			t.Fatalf("mask %s level %d box (%d,%d)+%dx%d: runs cover %d samples, want %d",
+				b, L, ax0, ay0, nx, ny, len(got), nx*ny)
+		}
+		p := make([]int, 2)
+		for iy := 0; iy < ny; iy++ {
+			for ix := 0; ix < nx; ix++ {
+				p[0], p[1] = ax0+ix*sx, ay0+iy*sy
+				if want := b.PointHZ(p); got[iy*nx+ix] != want {
+					t.Fatalf("mask %s level %d box (%d,%d)+%dx%d split %d: sample (%d,%d) hz=%d, want %d",
+						b, L, ax0, ay0, nx, ny, split, ix, iy, got[iy*nx+ix], want)
+				}
+			}
+		}
+	})
+}

@@ -98,7 +98,7 @@ func (m *MemBackend) Delete(name string) error {
 func (m *MemBackend) List(prefix string) ([]string, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	var out []string
+	out := make([]string, 0, len(m.objects))
 	for name := range m.objects {
 		if strings.HasPrefix(name, prefix) {
 			out = append(out, name)

@@ -100,7 +100,14 @@ func (d *Dataset) planRuns(q hz.RunQuery) ([]hz.Run, []blockSpan) {
 // spansOfGrouped derives block spans from an already block-grouped run
 // slice.
 func spansOfGrouped(runs []hz.Run, bpb int) []blockSpan {
-	var spans []blockSpan
+	nspans, prev := 0, -1
+	for i := range runs {
+		if b := int(runs[i].HZ >> bpb); b != prev {
+			nspans++
+			prev = b
+		}
+	}
+	spans := make([]blockSpan, 0, nspans)
 	for i := 0; i < len(runs); {
 		b := int(runs[i].HZ >> bpb)
 		j := i + 1

@@ -232,7 +232,7 @@ func (d *Dataset) ReadBox3D(field string, t int, box Box3, level int) (*Volume3,
 	// Fetch (cache first, then backend; serial is fine here — the 2D path
 	// demonstrates the parallel fetch, and both share fetchBlock).
 	blocks := make(map[int][]byte, len(needSet))
-	var misses []int
+	misses := make([]int, 0, len(needSet))
 	for b := range needSet {
 		if d.cache != nil {
 			if raw, ok := d.cache.Get(d.BlockKey(field, t, b)); ok {

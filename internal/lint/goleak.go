@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeakAnalyzer looks at worker-pool spawns — `go func` literals
+// launched inside a loop — and demands a visible abort path: receiving
+// a context.Context, selecting, receiving from a channel (including
+// range-over-channel), or polling a sync/atomic abort flag. A worker
+// with none of these runs until process exit no matter what the rest of
+// the pool decides, which is exactly the early-abort bug the write path
+// used to have.
+var GoLeakAnalyzer = &Analyzer{
+	Name: "goleak",
+	Doc:  "worker goroutines spawned in loops need an abort path (context, select, channel receive, or atomic flag)",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			inspectWithLoopDepth(fd.Body, func(n ast.Node, depth int) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok || depth == 0 {
+					return true
+				}
+				lit, ok := gs.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				if !hasAbortPath(pass, lit) {
+					pass.Reportf(gs.Pos(), "goroutine spawned in a loop has no abort path: give it a context.Context, a select/channel receive, or an atomic abort flag")
+				}
+				return true
+			})
+		}
+	}
+}
+
+// hasAbortPath scans a goroutine body for any recognised termination or
+// abort mechanism.
+func hasAbortPath(pass *Pass, lit *ast.FuncLit) bool {
+	info := pass.Pkg.Info
+	found := false
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[e.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			obj := info.Uses[e]
+			if obj == nil {
+				obj = info.Defs[e]
+			}
+			if obj != nil && isContextType(obj.Type()) {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if fn, ok := info.Uses[e.Sel].(*types.Func); ok && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "sync/atomic" && fn.Name() == "Load" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,258 @@
+// Package lint is the repo's own static-analysis suite: five analyzers
+// that machine-check the conventions the serving stack depends on —
+// nsdf_-prefixed constant metric names, no silently dropped storage/IDX
+// errors, an allocation-free hot path, sound mutex usage, and abortable
+// worker goroutines. It is built only on go/ast, go/parser, go/types,
+// and go/importer, so `make lint` needs nothing beyond the Go toolchain.
+//
+// A finding can be suppressed — sparingly, with a reason — by an allow
+// comment on the same line or the line above:
+//
+//	//lint:allow droppederr best-effort cleanup on shutdown
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer diagnostic.
+type Finding struct {
+	// Analyzer names the rule that fired.
+	Analyzer string
+	// Pos locates the finding.
+	Pos token.Position
+	// Message explains the violation.
+	Message string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Config carries the project-specific knobs the analyzers consult.
+// DefaultConfig returns the values matching this repository; tests point
+// them at fixture packages instead.
+type Config struct {
+	// TelemetryPackage is the import path of the metrics registry whose
+	// constructor names metricname inspects.
+	TelemetryPackage string
+	// MetricMethods maps telemetry.Registry method names to the metric
+	// kind they register.
+	MetricMethods map[string]string
+	// ErrScopePackages lists import paths whose error returns must never
+	// be dropped (droppederr), in addition to io.Closer-shaped methods
+	// and os.Remove/RemoveAll.
+	ErrScopePackages []string
+	// HotPackages lists import paths whose loops hotalloc polices.
+	HotPackages []string
+}
+
+// DefaultConfig returns the configuration for this repository.
+func DefaultConfig() *Config {
+	return &Config{
+		TelemetryPackage: "nsdfgo/internal/telemetry",
+		MetricMethods: map[string]string{
+			"Counter":     "counter",
+			"Gauge":       "gauge",
+			"Histogram":   "histogram",
+			"CounterFunc": "counter",
+			"GaugeFunc":   "gauge",
+		},
+		ErrScopePackages: []string{"nsdfgo/internal/storage", "nsdfgo/internal/idx"},
+		// The testdata path keeps the hotalloc fixture demonstrable from
+		// the driver: `nsdf-lint ./internal/lint/testdata/src/hotalloc`
+		// must exit 1 like every other fixture. testdata is never part of
+		// a ./... load, so it costs nothing on normal runs.
+		HotPackages: []string{
+			"nsdfgo/internal/idx", "nsdfgo/internal/hz", "nsdfgo/internal/cache",
+			"nsdfgo/internal/lint/testdata/src/hotalloc",
+		},
+	}
+}
+
+// Pass is the per-package unit of work handed to an analyzer.
+type Pass struct {
+	// Analyzer is the rule being run.
+	Analyzer *Analyzer
+	// Pkg is the package under analysis.
+	Pkg *Package
+	// Config is the shared project configuration.
+	Config *Config
+	// State persists across the packages of one Run for this analyzer,
+	// so cross-package rules (metric kind conflicts) can accumulate.
+	State map[string]any
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one lint rule.
+type Analyzer struct {
+	// Name is the rule identifier used in output and allow comments.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run analyzes one package.
+	Run func(*Pass)
+}
+
+// Analyzers returns the full suite in a stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MetricNameAnalyzer,
+		DroppedErrAnalyzer,
+		HotAllocAnalyzer,
+		LockCopyAnalyzer,
+		GoLeakAnalyzer,
+	}
+}
+
+// Run executes the analyzers over the packages and returns the findings
+// that survive allow-comment suppression, sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Finding {
+	var findings []Finding
+	for _, a := range analyzers {
+		state := make(map[string]any)
+		for _, pkg := range pkgs {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, Config: cfg, State: state, findings: &findings})
+		}
+	}
+	allow := buildAllowIndex(pkgs)
+	kept := findings[:0]
+	for _, f := range findings {
+		if !allow.suppresses(f) {
+			kept = append(kept, f)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}
+
+// allowIndex records, per file and line, which analyzers an
+// //lint:allow comment switches off.
+type allowIndex map[string]map[int]map[string]bool
+
+// buildAllowIndex scans every comment in every file for allow
+// directives. A directive names one analyzer or a comma-separated list:
+//
+//	//lint:allow hotalloc
+//	//lint:allow droppederr,goleak best-effort shutdown path
+func buildAllowIndex(pkgs []*Package) allowIndex {
+	idx := make(allowIndex)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					rest, ok := strings.CutPrefix(text, "lint:allow")
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					byLine := idx[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int]map[string]bool)
+						idx[pos.Filename] = byLine
+					}
+					names := byLine[pos.Line]
+					if names == nil {
+						names = make(map[string]bool)
+						byLine[pos.Line] = names
+					}
+					for _, name := range strings.Split(fields[0], ",") {
+						names[strings.TrimSpace(name)] = true
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// suppresses reports whether an allow comment on the finding's line or
+// the line above names its analyzer.
+func (idx allowIndex) suppresses(f Finding) bool {
+	byLine := idx[f.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range [...]int{f.Pos.Line, f.Pos.Line - 1} {
+		if byLine[line][f.Analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// inspectWithLoopDepth walks the subtree rooted at n, calling fn with
+// the number of enclosing for/range statements whose *body* (or
+// post/cond clauses) contains the node. Function literals reset the
+// depth: a closure defined in a loop body is not itself "in a loop"
+// unless it contains one.
+func inspectWithLoopDepth(root ast.Node, fn func(n ast.Node, depth int) bool) {
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		if n == nil {
+			return
+		}
+		if !fn(n, depth) {
+			return
+		}
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			walk(s.Init, depth)
+			walk(s.Cond, depth+1)
+			walk(s.Post, depth+1)
+			walk(s.Body, depth+1)
+			return
+		case *ast.RangeStmt:
+			walk(s.Key, depth)
+			walk(s.Value, depth)
+			walk(s.X, depth)
+			walk(s.Body, depth+1)
+			return
+		case *ast.FuncLit:
+			walk(s.Type, 0)
+			walk(s.Body, 0)
+			return
+		}
+		ast.Inspect(n, func(child ast.Node) bool {
+			if child == nil || child == n {
+				return child == n
+			}
+			walk(child, depth)
+			return false
+		})
+	}
+	walk(root, 0)
+}

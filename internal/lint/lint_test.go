@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the analyzer golden files")
+
+// moduleRoot locates the repository root from the test's working
+// directory (internal/lint).
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root not at %s: %v", root, err)
+	}
+	return root
+}
+
+// loadFixture type-checks one fixture package under testdata/src.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	root := moduleRoot(t)
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join(root, "internal", "lint", "testdata", "src", name))
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	if pkg == nil {
+		t.Fatalf("fixture %s has no Go files", name)
+	}
+	return pkg
+}
+
+// analyzerByName fetches one analyzer from the registered suite, so the
+// tests exercise exactly what the driver runs.
+func analyzerByName(t *testing.T, name string) *Analyzer {
+	t.Helper()
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	t.Fatalf("no analyzer named %q", name)
+	return nil
+}
+
+// fixtureConfig returns the default config, pointing hotalloc at the
+// fixture package instead of the real hot-path packages.
+func fixtureConfig(pkg *Package) *Config {
+	cfg := DefaultConfig()
+	if strings.HasSuffix(pkg.Path, "/hotalloc") {
+		cfg.HotPackages = []string{pkg.Path}
+	}
+	return cfg
+}
+
+// renderFindings formats findings with fixture-relative paths, one per
+// line, matching the .golden files.
+func renderFindings(pkg *Package, findings []Finding) string {
+	var b strings.Builder
+	for _, f := range findings {
+		file := filepath.Base(f.Pos.Filename)
+		fmt.Fprintf(&b, "%s:%d:%d: %s: %s\n", file, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+	}
+	return b.String()
+}
+
+// TestAnalyzerGoldens runs each analyzer over its fixture package and
+// compares the surviving findings against the committed golden file.
+// The fixtures contain both firing cases and //lint:allow-suppressed
+// cases, so a matching golden proves the analyzer fires where it must
+// and stays quiet where the escape hatch is used.
+func TestAnalyzerGoldens(t *testing.T) {
+	for _, name := range []string{"metricname", "droppederr", "hotalloc", "lockcopy", "goleak"} {
+		t.Run(name, func(t *testing.T) {
+			pkg := loadFixture(t, name)
+			a := analyzerByName(t, name)
+			findings := Run([]*Package{pkg}, []*Analyzer{a}, fixtureConfig(pkg))
+			if len(findings) == 0 {
+				t.Fatalf("analyzer %s produced no findings on its fixture", name)
+			}
+			got := renderFindings(pkg, findings)
+			goldenPath := filepath.Join("testdata", "src", name, "expect.golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("findings mismatch\n--- got ---\n%s--- want ---\n%s", got, string(want))
+			}
+		})
+	}
+}
+
+// TestAllowCommentSuppresses asserts, independently of the goldens,
+// that no finding lands on a line covered by a //lint:allow comment
+// (same line or the line below it) in any fixture.
+func TestAllowCommentSuppresses(t *testing.T) {
+	for _, name := range []string{"metricname", "droppederr", "hotalloc", "lockcopy", "goleak"} {
+		pkg := loadFixture(t, name)
+		a := analyzerByName(t, name)
+		findings := Run([]*Package{pkg}, []*Analyzer{a}, fixtureConfig(pkg))
+
+		src, err := os.ReadFile(filepath.Join(pkg.Dir, name+".go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		allowLines := map[int]bool{}
+		for i, line := range strings.Split(string(src), "\n") {
+			if strings.Contains(line, "//lint:allow") {
+				allowLines[i+1] = true
+			}
+		}
+		if len(allowLines) == 0 {
+			t.Fatalf("fixture %s has no //lint:allow case", name)
+		}
+		for _, f := range findings {
+			if allowLines[f.Pos.Line] || allowLines[f.Pos.Line-1] {
+				t.Errorf("%s: finding on allow-suppressed line: %s", name, f)
+			}
+		}
+	}
+}
+
+// TestMetricNameKindConflictAcrossPackages checks that kind tracking
+// spans packages within one Run: the same metric name registered as a
+// counter in one package and a gauge in another is a conflict even
+// though each package is internally consistent.
+func TestMetricNameKindConflictAcrossPackages(t *testing.T) {
+	root := moduleRoot(t)
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*Package
+	for _, name := range []string{"kinda", "kindb"} {
+		pkg, err := loader.LoadDir(filepath.Join(root, "internal", "lint", "testdata", "src", "kindconflict", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	findings := Run(pkgs, []*Analyzer{analyzerByName(t, "metricname")}, DefaultConfig())
+	if len(findings) != 1 {
+		t.Fatalf("want exactly 1 cross-package kind conflict, got %d: %v", len(findings), findings)
+	}
+	if !strings.Contains(findings[0].Message, "registered as gauge here but as counter") {
+		t.Errorf("unexpected conflict message: %s", findings[0].Message)
+	}
+}
+
+// TestRepoIsLintClean runs the full suite over the real module — the
+// same gate as `make lint` — so a regression in any enforced invariant
+// fails the ordinary test run too.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type check is not short")
+	}
+	root := moduleRoot(t)
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; pattern expansion looks broken", len(pkgs))
+	}
+	findings := Run(pkgs, Analyzers(), DefaultConfig())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

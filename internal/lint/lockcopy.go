@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockCopyAnalyzer catches the two classic sync mistakes: passing or
+// returning by value a struct that (transitively) contains a
+// sync.Mutex or sync.RWMutex — the copy and the original then guard
+// different state — and calling Lock/RLock in a function that never
+// pairs it with the matching Unlock/RUnlock on the same receiver
+// (directly or via defer).
+var LockCopyAnalyzer = &Analyzer{
+	Name: "lockcopy",
+	Doc:  "no mutex-holding structs by value; every Lock pairs with an Unlock in the same function",
+	Run:  runLockCopy,
+}
+
+func runLockCopy(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkSignatureCopies(pass, fd)
+			if fd.Body != nil {
+				checkLockPairing(pass, fd)
+			}
+		}
+	}
+}
+
+// checkSignatureCopies flags receiver, parameter, and result variables
+// whose by-value type contains a mutex.
+func checkSignatureCopies(pass *Pass, fd *ast.FuncDecl) {
+	fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	report := func(v *types.Var, role string) {
+		if v == nil || !containsLock(v.Type(), make(map[types.Type]bool)) {
+			return
+		}
+		name := v.Name()
+		if name == "" {
+			name = types.TypeString(v.Type(), types.RelativeTo(pass.Pkg.Types))
+		}
+		pass.Reportf(v.Pos(), "%s %q of %s carries a sync.Mutex by value; pass a pointer instead", role, name, fd.Name.Name)
+	}
+	report(sig.Recv(), "receiver")
+	for i := 0; i < sig.Params().Len(); i++ {
+		report(sig.Params().At(i), "parameter")
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		report(sig.Results().At(i), "result")
+	}
+}
+
+// containsLock reports whether t, traversed by value (structs and
+// arrays; pointers, slices, maps, channels, and interfaces are
+// indirections and stop the walk), embeds a sync.Mutex or RWMutex.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch tt := t.(type) {
+	case *types.Named:
+		obj := tt.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return true
+		}
+		return containsLock(tt.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			if containsLock(tt.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(tt.Elem(), seen)
+	}
+	return false
+}
+
+// lockMethods maps sync lock methods to the unlock method that balances
+// them.
+var lockMethods = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+// checkLockPairing flags Lock/RLock calls on sync mutexes with no
+// matching Unlock/RUnlock on the same receiver expression anywhere in
+// the same function (including defers and deferred closures).
+func checkLockPairing(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	type lockCall struct {
+		pos  ast.Node
+		recv string
+		want string // balancing method name
+	}
+	var locks []lockCall
+	unlocks := map[string]bool{} // "recv\x00method"
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		recv := types.ExprString(sel.X)
+		if want, isLock := lockMethods[fn.Name()]; isLock {
+			locks = append(locks, lockCall{pos: call, recv: recv, want: want})
+		} else {
+			unlocks[recv+"\x00"+fn.Name()] = true
+		}
+		return true
+	})
+	for _, lk := range locks {
+		if !unlocks[lk.recv+"\x00"+lk.want] {
+			pass.Reportf(lk.pos.Pos(), "%s.%s has no matching %s in %s; unlock on every exit path (prefer defer)",
+				lk.recv, lockMethodName(lk.want), lk.want, fd.Name.Name)
+		}
+	}
+}
+
+// lockMethodName maps a balancing unlock method back to the lock name
+// for the diagnostic.
+func lockMethodName(unlock string) string {
+	if unlock == "RUnlock" {
+		return "RLock"
+	}
+	return "Lock"
+}

@@ -1,0 +1,28 @@
+// Package droppederr is a lint fixture: every violation below is
+// asserted by internal/lint's golden-file tests.
+package droppederr
+
+import (
+	"os"
+
+	"nsdfgo/internal/idx"
+)
+
+func violations(be *idx.MemBackend, f *os.File, path string) []byte {
+	be.Put("obj", nil)       // want: bare call into the idx scope
+	_ = be.Put("obj2", nil)  // want: error assigned to _
+	f.Close()                // want: bare io.Closer call
+	os.Remove(path)          // want: bare os.Remove
+	data, _ := be.Get("obj") // want: error result blanked
+	return data
+}
+
+func handled(be *idx.MemBackend, f *os.File) error {
+	if err := be.Put("obj", nil); err != nil { // ok: error checked
+		return err
+	}
+	defer f.Close() // ok: deferred cleanup is exempt
+	//lint:allow droppederr fixture demonstrates the escape hatch
+	be.Put("ignored", nil) // suppressed by the allow comment
+	return nil
+}

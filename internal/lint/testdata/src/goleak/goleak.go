@@ -1,0 +1,74 @@
+// Package goleak is a lint fixture: every violation below is asserted
+// by internal/lint's golden-file tests.
+package goleak
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+func leakyPool(jobs []int, results chan<- int) {
+	for _, j := range jobs {
+		go func() { // want: no abort path at all
+			results <- j * 2
+		}()
+	}
+}
+
+func withContext(ctx context.Context, jobs []int, results chan<- int) {
+	for _, j := range jobs {
+		go func() { // ok: selects on ctx.Done
+			select {
+			case results <- j:
+			case <-ctx.Done():
+			}
+		}()
+	}
+}
+
+func withChannelReceive(work chan int, out chan<- int) {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { // ok: terminates when work is drained and closed
+			defer wg.Done()
+			for j := range work {
+				out <- j
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func withAbortFlag(n int, fn func(int)) {
+	var aborted atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() { // ok: polls the pool's atomic abort flag
+			defer wg.Done()
+			for {
+				if aborted.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func allowedFireAndForget(hooks []func()) {
+	for _, h := range hooks {
+		//lint:allow goleak fire-and-forget notification hooks
+		go func() { // suppressed by the allow comment
+			h()
+		}()
+	}
+}

@@ -1,0 +1,38 @@
+// Package hotalloc is a lint fixture: every violation below is asserted
+// by internal/lint's golden-file tests, which point Config.HotPackages
+// at this package.
+package hotalloc
+
+import "fmt"
+
+func violations(items []int, base string) string {
+	out := ""
+	for _, it := range items {
+		out += fmt.Sprintf("%d,", it) // want: += and Sprintf in a loop
+	}
+	var parts []string
+	for range items {
+		parts = append(parts, base+"!") // want: append without capacity, concat
+	}
+	if len(parts) > 0 {
+		out = parts[0]
+	}
+	return out
+}
+
+func preallocated(items []int) []string {
+	keys := make([]string, 0, len(items)) // ok: capacity stated up front
+	for range items {
+		keys = append(keys, "k")
+	}
+	return keys
+}
+
+func allowed(items []int) []int {
+	var lazy []int
+	for i := range items {
+		//lint:allow hotalloc cold path, size unknown and tiny
+		lazy = append(lazy, i) // suppressed by the allow comment
+	}
+	return lazy
+}

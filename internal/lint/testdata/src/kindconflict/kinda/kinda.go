@@ -1,0 +1,11 @@
+// Package kinda registers nsdf_kindconflict_value as a counter; the
+// sibling package kindb registers the same name as a gauge. The
+// metricname analyzer must flag the pair even though each package is
+// internally consistent.
+package kinda
+
+import "nsdfgo/internal/telemetry"
+
+func register(reg *telemetry.Registry) {
+	reg.Counter("nsdf_kindconflict_value").Inc()
+}

@@ -1,0 +1,9 @@
+// Package kindb is the second half of the cross-package kind-conflict
+// fixture; see package kinda.
+package kindb
+
+import "nsdfgo/internal/telemetry"
+
+func register(reg *telemetry.Registry) {
+	reg.Gauge("nsdf_kindconflict_value").Set(1)
+}

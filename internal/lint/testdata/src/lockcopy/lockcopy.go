@@ -1,0 +1,59 @@
+// Package lockcopy is a lint fixture: every violation below is asserted
+// by internal/lint's golden-file tests.
+package lockcopy
+
+import "sync"
+
+// Guarded carries a mutex, so it must never travel by value.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// RW carries a read-write mutex through an embedded struct.
+type RW struct {
+	inner Guarded
+	rw    sync.RWMutex
+	v     int
+}
+
+func byValueParam(g Guarded) int { // want: parameter carries the mutex
+	return g.n
+}
+
+func (g Guarded) byValueRecv() int { // want: receiver carries the mutex
+	return g.n
+}
+
+func byValueResult() RW { // want: result carries the mutex
+	return RW{}
+}
+
+func lockNoUnlock(g *Guarded) {
+	g.mu.Lock() // want: no matching Unlock in this function
+	g.n++
+}
+
+func rlockNoRUnlock(r *RW) int {
+	r.rw.RLock() // want: no matching RUnlock in this function
+	return r.v
+}
+
+func balanced(g *Guarded) {
+	g.mu.Lock() // ok: deferred unlock on the same receiver
+	defer g.mu.Unlock()
+	g.n++
+}
+
+func balancedRead(r *RW) int {
+	r.rw.RLock() // ok: explicit RUnlock
+	v := r.v
+	r.rw.RUnlock()
+	return v
+}
+
+func allowedHandoff(g *Guarded) {
+	//lint:allow lockcopy unlocked by the caller once the handoff completes
+	g.mu.Lock() // suppressed by the allow comment
+	g.n++
+}

@@ -1,0 +1,27 @@
+// Package metricname is a lint fixture: every violation below is
+// asserted by internal/lint's golden-file tests. It is excluded from
+// normal builds by the testdata path.
+package metricname
+
+import "nsdfgo/internal/telemetry"
+
+const goodName = "nsdf_fixture_ops_total"
+
+func register(reg *telemetry.Registry, service string, labels []string) {
+	reg.Counter(goodName, "service", service).Inc() // ok: constant name, constant key, dynamic value
+
+	reg.Counter("fixture_ops_total").Inc() // want: missing nsdf_ prefix
+	reg.Counter("nsdf_Fixture_Ops").Inc()  // want: uppercase
+
+	name := "nsdf_" + service
+	reg.Gauge(name).Set(1) // want: dynamically built name
+
+	reg.Histogram("nsdf_fixture_latency_seconds", service, "route").Observe(0) // want: dynamic label key
+
+	reg.Gauge("nsdf_fixture_ops_total").Set(1) // want: kind conflict with the counter above
+
+	reg.GaugeFunc("nsdf_fixture_live", func() float64 { return 0 }, labels...) // want: dynamic label slice
+
+	//lint:allow metricname legacy family kept for the fixture
+	reg.Counter("legacy_requests_total").Inc() // suppressed by the allow comment
+}

@@ -165,8 +165,11 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (*htt
 		return nil, fmt.Errorf("storage: %s %s: %w", method, path, err)
 	}
 	if resp.StatusCode == http.StatusUnauthorized {
-		resp.Body.Close()
-		return nil, fmt.Errorf("%w: %s %s", ErrUnauthorized, method, path)
+		err := fmt.Errorf("%w: %s %s", ErrUnauthorized, method, path)
+		if cerr := resp.Body.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+		return nil, err
 	}
 	return resp, nil
 }

@@ -1,0 +1,9 @@
+//go:build !nsdfstrict
+
+package telemetry
+
+// strictDefault leaves new registries in logging mode: a misnamed
+// metric is reported once via the standard logger but still registered,
+// so production services never crash over a label. Build with
+// -tags nsdfstrict (or call SetStrict) to panic instead.
+const strictDefault = false

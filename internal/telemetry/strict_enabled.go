@@ -1,0 +1,8 @@
+//go:build nsdfstrict
+
+package telemetry
+
+// strictDefault under -tags nsdfstrict makes every new registry panic
+// on a metric name that violates MetricNamePattern — the runtime
+// counterpart of the metricname analyzer, for test builds.
+const strictDefault = true

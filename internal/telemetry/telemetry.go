@@ -15,7 +15,9 @@ package telemetry
 
 import (
 	"fmt"
+	"log"
 	"math"
+	"regexp"
 	"sort"
 	"strings"
 	"sync"
@@ -198,17 +200,56 @@ type family struct {
 	order  []string // label signatures in registration order, sorted at expose
 }
 
+// MetricNamePattern is the naming convention every family must follow.
+// The static metricname analyzer (internal/lint) enforces it on
+// constant names at `make lint` time; the registry re-checks at first
+// registration so dynamically assembled names cannot slip past the
+// static pass.
+var MetricNamePattern = regexp.MustCompile(`^nsdf_[a-z0-9_]+$`)
+
 // Registry holds metric families and renders them as a text exposition.
 // The zero value is not usable; call NewRegistry.
 type Registry struct {
 	mu       sync.RWMutex
 	families map[string]*family
 	names    []string
+	strict   bool
+	warned   map[string]bool
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry. It is strict (invalid metric
+// names panic instead of logging) when the build tag nsdfstrict is set;
+// see SetStrict.
 func NewRegistry() *Registry {
-	return &Registry{families: make(map[string]*family)}
+	return &Registry{families: make(map[string]*family), strict: strictDefault}
+}
+
+// SetStrict switches misnamed-metric handling between logging (false,
+// the default) and panicking (true) — tests use strict registries so a
+// dynamically built name that dodges the metricname analyzer still
+// fails loudly. Call it before the registry sees traffic.
+func (r *Registry) SetStrict(on bool) {
+	r.mu.Lock()
+	r.strict = on
+	r.mu.Unlock()
+}
+
+// checkName validates a family name on first registration. Caller holds
+// the write lock.
+func (r *Registry) checkName(name string) {
+	if MetricNamePattern.MatchString(name) {
+		return
+	}
+	if r.strict {
+		panic(fmt.Sprintf("telemetry: metric name %q does not match %s", name, MetricNamePattern))
+	}
+	if r.warned == nil {
+		r.warned = make(map[string]bool)
+	}
+	if !r.warned[name] {
+		r.warned[name] = true
+		log.Printf("telemetry: metric name %q does not match %s; fix the name or run nsdf-lint", name, MetricNamePattern)
+	}
 }
 
 // labelSig renders labels (alternating key, value) canonically, sorted by
@@ -256,6 +297,7 @@ func (r *Registry) lookup(name string, kind Kind, labels []string) *series {
 	defer r.mu.Unlock()
 	f, ok := r.families[name]
 	if !ok {
+		r.checkName(name)
 		f = &family{name: name, kind: kind, series: make(map[string]*series)}
 		r.families[name] = f
 		r.names = append(r.names, name)

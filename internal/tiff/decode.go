@@ -191,7 +191,9 @@ func (d *decoder) readIFD(off uint32) (*Image, error) {
 				return nil, fmt.Errorf("tiff: strip %d: %w", s, err)
 			}
 			raw, err = io.ReadAll(zr)
-			zr.Close()
+			if cerr := zr.Close(); err == nil {
+				err = cerr
+			}
 			if err != nil {
 				return nil, fmt.Errorf("tiff: strip %d: %w", s, err)
 			}
