@@ -135,12 +135,12 @@ func benchDataset(b *testing.B, bitsPerBlock int) *idx.Dataset {
 		b.Fatal(err)
 	}
 	meta.BitsPerBlock = bitsPerBlock
-	ds, err := idx.Create(idx.NewMemBackend(), meta)
+	ds, err := idx.Create(context.Background(), idx.NewMemBackend(), meta)
 	if err != nil {
 		b.Fatal(err)
 	}
 	g := dem.Scale(dem.FBM(512, 512, 1, dem.DefaultFBM()), 0, 2500)
-	if err := ds.WriteGrid("elevation", 0, g); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, g); err != nil {
 		b.Fatal(err)
 	}
 	return ds
@@ -154,7 +154,7 @@ func BenchmarkProgressiveLevels(b *testing.B) {
 		b.Run(fmt.Sprintf("level%d", level), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := ds.ReadBox("elevation", 0, ds.FullBox(), level); err != nil {
+				if _, _, err := ds.ReadBox(context.Background(), "elevation", 0, ds.FullBox(), level); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -256,7 +256,7 @@ func BenchmarkLayoutHZvsRowMajor(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := ds.ReadBox("elevation", 0, box, ds.Meta.MaxLevel()); err != nil {
+			if _, _, err := ds.ReadBox(context.Background(), "elevation", 0, box, ds.Meta.MaxLevel()); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -311,7 +311,7 @@ func BenchmarkCacheSizes(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				q := quadrants[i%len(quadrants)]
-				if _, err := engine.Read(query.Request{Field: "elevation", Box: q, Level: 16}); err != nil {
+				if _, err := engine.Read(context.Background(), query.Request{Field: "elevation", Box: q, Level: 16}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -360,19 +360,19 @@ func BenchmarkParallelFetchWAN(b *testing.B) {
 	}
 	meta.BitsPerBlock = 10 // 64 blocks
 	remote := storage.NewConditioned(storage.NewMemStore(), storage.ProfileCrossCountry, 1)
-	ds, err := idx.Create(storage.NewIDXBackend(remote, "wan"), meta)
+	ds, err := idx.Create(context.Background(), storage.NewIDXBackend(remote, "wan"), meta)
 	if err != nil {
 		b.Fatal(err)
 	}
 	g := dem.Scale(dem.FBM(256, 256, 1, dem.DefaultFBM()), 0, 1000)
-	if err := ds.WriteGrid("elevation", 0, g); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, g); err != nil {
 		b.Fatal(err)
 	}
 	for _, par := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("parallel%d", par), func(b *testing.B) {
 			ds.SetFetchParallelism(par)
 			for i := 0; i < b.N; i++ {
-				if _, _, err := ds.ReadFull("elevation", 0); err != nil {
+				if _, _, err := ds.ReadFull(context.Background(), "elevation", 0); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -394,11 +394,11 @@ func BenchmarkPrefetchAblation(b *testing.B) {
 	}
 	meta.BitsPerBlock = 10
 	remote := storage.NewConditioned(storage.NewMemStore(), storage.ProfileCrossCountry, 1)
-	ds, err := idx.Create(storage.NewIDXBackend(remote, "pf"), meta)
+	ds, err := idx.Create(context.Background(), storage.NewIDXBackend(remote, "pf"), meta)
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := ds.WriteGrid("elevation", 0, dem.Scale(dem.FBM(256, 256, 1, dem.DefaultFBM()), 0, 1000)); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, dem.Scale(dem.FBM(256, 256, 1, dem.DefaultFBM()), 0, 1000)); err != nil {
 		b.Fatal(err)
 	}
 	hot := idx.Box{X0: 128, Y0: 128, X1: 256, Y1: 256}
@@ -414,17 +414,17 @@ func BenchmarkPrefetchAblation(b *testing.B) {
 			e.EnableTracking(32)
 		}
 		for i := 0; i < 4; i++ {
-			if _, err := e.Read(query.Request{Field: "elevation", Box: hot, Level: 8}); err != nil {
+			if _, err := e.Read(context.Background(), query.Request{Field: "elevation", Box: hot, Level: 8}); err != nil {
 				b.Fatal(err)
 			}
 		}
 		if prefetch {
-			if _, _, err := e.Prefetch("elevation", 0, e.Dataset().Meta.MaxLevel()); err != nil {
+			if _, _, err := e.Prefetch(context.Background(), "elevation", 0, e.Dataset().Meta.MaxLevel()); err != nil {
 				b.Fatal(err)
 			}
 		}
 		b.StartTimer()
-		if _, err := e.Read(query.Request{Field: "elevation", Box: hot, Level: query.LevelFull}); err != nil {
+		if _, err := e.Read(context.Background(), query.Request{Field: "elevation", Box: hot, Level: query.LevelFull}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,197 @@
+package nsdfgo_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"nsdfgo/internal/dashboard"
+	"nsdfgo/internal/idx"
+	"nsdfgo/internal/query"
+	"nsdfgo/internal/raster"
+	"nsdfgo/internal/storage"
+	"nsdfgo/internal/telemetry"
+)
+
+// blockHangStore serves descriptor objects from the fast store but
+// routes every block read through a Conditioned wrapper whose RTT is
+// effectively infinite: opening the dataset works, any block fetch
+// hangs until the caller's context dies. This is the "remote store went
+// dark mid-session" scenario the context-threading work exists for.
+type blockHangStore struct {
+	fast storage.Store
+	slow *storage.Conditioned
+}
+
+func newBlockHangStore(inner storage.Store) *blockHangStore {
+	return &blockHangStore{
+		fast: inner,
+		slow: storage.NewConditioned(inner, storage.NetworkProfile{RTT: time.Hour}, 1),
+	}
+}
+
+func (s *blockHangStore) pick(key string) storage.Store {
+	if strings.Contains(key, idx.BlockPrefix) {
+		return s.slow
+	}
+	return s.fast
+}
+
+func (s *blockHangStore) Put(ctx context.Context, key string, data []byte) error {
+	return s.fast.Put(ctx, key, data)
+}
+
+func (s *blockHangStore) Get(ctx context.Context, key string) ([]byte, error) {
+	return s.pick(key).Get(ctx, key)
+}
+
+func (s *blockHangStore) Delete(ctx context.Context, key string) error {
+	return s.fast.Delete(ctx, key)
+}
+
+func (s *blockHangStore) Stat(ctx context.Context, key string) (storage.ObjectInfo, error) {
+	return s.fast.Stat(ctx, key)
+}
+
+func (s *blockHangStore) List(ctx context.Context, prefix string) ([]storage.ObjectInfo, error) {
+	return s.fast.List(ctx, prefix)
+}
+
+// buildHungDataset writes a small dataset through the fast path, then
+// reopens it behind the hanging block reads.
+func buildHungDataset(t *testing.T) *idx.Dataset {
+	t.Helper()
+	ctx := context.Background()
+	mem := storage.NewMemStore()
+	meta, err := idx.NewMeta([]int{64, 64}, []idx.Field{{Name: "elevation", Type: idx.Float32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta.BitsPerBlock = 8
+	ds, err := idx.Create(ctx, storage.NewIDXBackend(mem, "ds"), meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := raster.New(64, 64)
+	for i := range g.Data {
+		g.Data[i] = float32(i)
+	}
+	if err := ds.WriteGrid(ctx, "elevation", 0, g); err != nil {
+		t.Fatal(err)
+	}
+	hung, err := idx.Open(ctx, storage.NewIDXBackend(newBlockHangStore(mem), "ds"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hung.SetFetchParallelism(4)
+	return hung
+}
+
+// waitGoroutinesBelow polls until the live goroutine count is back at
+// or below want.
+func waitGoroutinesBelow(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines did not drain: have %d, want <= %d", runtime.NumGoroutine(), want)
+}
+
+// TestDashboardClientDisconnectFreesWorkers is the end-to-end
+// acceptance test for the context-threading work: a dashboard data
+// request against a store conditioned to hang is abandoned by the
+// client; the request context must propagate down through the query
+// engine into the fetch worker pool, the read must die promptly with
+// context.Canceled, no fetch workers may leak, and the cancellation
+// must increment nsdf_idx_reads_cancelled_total.
+func TestDashboardClientDisconnectFreesWorkers(t *testing.T) {
+	ds := buildHungDataset(t)
+	reg := telemetry.NewRegistry()
+	server := dashboard.NewServer()
+	server.EnableTelemetry(reg)
+	server.Register("hung", query.New(ds, 1<<20))
+
+	ts := httptest.NewServer(server)
+	defer ts.Close()
+
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/api/data?dataset=hung&field=elevation", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+
+	// Give the handler time to reach the hung store, then disconnect.
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("client saw %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("request did not unwind after client disconnect")
+	}
+
+	// The handler goroutine, the fetch feeder, and all four workers must
+	// exit once the request context dies. httptest keeps a couple of
+	// connection goroutines alive briefly, hence the small allowance.
+	waitGoroutinesBelow(t, base+2)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if reg.SumFamily("nsdf_idx_reads_cancelled_total") >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("nsdf_idx_reads_cancelled_total = %v, want >= 1",
+				reg.SumFamily("nsdf_idx_reads_cancelled_total"))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRequestTimeoutBoundsHungRead exercises the -request-timeout
+// middleware path: with a server-side deadline the same hung read must
+// unwind on its own — no client disconnect required — and surface 504
+// to the still-connected client.
+func TestRequestTimeoutBoundsHungRead(t *testing.T) {
+	ds := buildHungDataset(t)
+	server := dashboard.NewServer()
+	server.Register("hung", query.New(ds, 1<<20))
+
+	ts := httptest.NewServer(telemetry.WithRequestTimeout(server, 50*time.Millisecond))
+	defer ts.Close()
+
+	start := time.Now()
+	resp, err := http.Get(ts.URL + "/api/data?dataset=hung&field=elevation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want %d", resp.StatusCode, http.StatusGatewayTimeout)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hung read took %v to time out, want well under the RTT", elapsed)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"time"
 
 	"nsdfgo/internal/catalog"
 	"nsdfgo/internal/telemetry"
@@ -91,7 +92,13 @@ func run() error {
 		srv := catalog.NewServer(cat)
 		srv.EnableTelemetry(telemetry.NewRegistry())
 		fmt.Printf("catalog service listening on %s (%d records, metrics at /metrics)\n", *addr, cat.Len())
-		return http.ListenAndServe(*addr, srv)
+		hs := &http.Server{
+			Addr:              *addr,
+			Handler:           srv,
+			ReadHeaderTimeout: 5 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
+		return hs.ListenAndServe()
 	case *stats:
 		s := cat.Stats()
 		fmt.Printf("records: %d\ntokens: %d\ntotal bytes: %d\n", s.Records, s.Tokens, s.TotalBytes)

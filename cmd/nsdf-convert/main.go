@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -60,11 +61,12 @@ func run() error {
 		sizes[name] = int64(len(data))
 	}
 
+	ctx := context.Background()
 	be, err := idx.NewDirBackend(*out)
 	if err != nil {
 		return err
 	}
-	ds, err := convert.ToIDXWith(be, inputs, convert.IDXOptions{
+	ds, err := convert.ToIDXWith(ctx, be, inputs, convert.IDXOptions{
 		BitsPerBlock:     *bitsPerBlock,
 		Codec:            *codec,
 		WriteParallelism: *writeParallelism,
@@ -75,7 +77,7 @@ func run() error {
 	var srcTotal, idxTotal int64
 	for _, in := range inputs {
 		if *validate {
-			back, _, err := ds.ReadFull(in.FieldName, 0)
+			back, _, err := ds.ReadFull(ctx, in.FieldName, 0)
 			if err != nil {
 				return fmt.Errorf("validate %s: %w", in.FieldName, err)
 			}
@@ -83,7 +85,7 @@ func run() error {
 				return fmt.Errorf("validate %s: round trip not identical", in.FieldName)
 			}
 		}
-		stored, err := ds.StoredBytes(in.FieldName, 0)
+		stored, err := ds.StoredBytes(ctx, in.FieldName, 0)
 		if err != nil {
 			return err
 		}

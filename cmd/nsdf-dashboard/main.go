@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -46,10 +47,12 @@ func run() error {
 	cacheMB := flag.Int("cache-mb", 64, "block cache size per dataset in MiB")
 	demo := flag.Bool("demo", false, "synthesise and register a demo Tennessee dataset")
 	summaryEvery := flag.Duration("summary-interval", 30*time.Second, "interval between one-line telemetry summaries (0 disables)")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline bounding all block I/O (0 disables)")
 	var data dataFlags
 	flag.Var(&data, "data", "dataset as name=path/to/idx/dir (repeatable)")
 	flag.Parse()
 
+	ctx := context.Background()
 	reg := telemetry.NewRegistry()
 	server := dashboard.NewServer()
 	server.EnableTelemetry(reg)
@@ -63,7 +66,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		ds, err := idx.Open(be)
+		ds, err := idx.Open(ctx, be)
 		if err != nil {
 			return fmt.Errorf("open %s: %w", path, err)
 		}
@@ -73,7 +76,7 @@ func run() error {
 		registered++
 	}
 	if *demo {
-		ds, err := buildDemoDataset()
+		ds, err := buildDemoDataset(ctx)
 		if err != nil {
 			return fmt.Errorf("demo dataset: %w", err)
 		}
@@ -88,7 +91,16 @@ func run() error {
 		go summaryLoop(reg, *summaryEvery)
 	}
 	fmt.Printf("dashboard listening on %s (metrics at /metrics)\n", *addr)
-	return http.ListenAndServe(*addr, server)
+	// ReadHeaderTimeout/IdleTimeout keep slow or silent clients from
+	// holding connections open indefinitely; WithRequestTimeout bounds
+	// each request's block I/O when -request-timeout is set.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           telemetry.WithRequestTimeout(server, *requestTimeout),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return srv.ListenAndServe()
 }
 
 // summaryLoop prints a periodic one-line operational summary so sweep
@@ -120,7 +132,7 @@ func summaryLine(reg *telemetry.Registry) string {
 }
 
 // buildDemoDataset synthesises the tutorial's Tennessee scene in memory.
-func buildDemoDataset() (*idx.Dataset, error) {
+func buildDemoDataset(ctx context.Context) (*idx.Dataset, error) {
 	d := dem.Tennessee(512, 256, 20240624)
 	fields := make([]idx.Field, 0, len(geotiled.TutorialParams))
 	for _, p := range geotiled.TutorialParams {
@@ -131,7 +143,7 @@ func buildDemoDataset() (*idx.Dataset, error) {
 		return nil, err
 	}
 	meta.Geo = d.Geo
-	ds, err := idx.Create(idx.NewMemBackend(), meta)
+	ds, err := idx.Create(ctx, idx.NewMemBackend(), meta)
 	if err != nil {
 		return nil, err
 	}
@@ -140,7 +152,7 @@ func buildDemoDataset() (*idx.Dataset, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := ds.WriteGrid(p.String(), 0, g); err != nil {
+		if err := ds.WriteGrid(ctx, p.String(), 0, g); err != nil {
 			return nil, err
 		}
 	}

@@ -50,8 +50,14 @@ func run() error {
 		if *metricsAddr != "" {
 			mux := http.NewServeMux()
 			mux.Handle("/metrics", reg.Handler())
+			srv := &http.Server{
+				Addr:              *metricsAddr,
+				Handler:           mux,
+				ReadHeaderTimeout: 5 * time.Second,
+				IdleTimeout:       2 * time.Minute,
+			}
 			go func() {
-				if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				if err := srv.ListenAndServe(); err != nil {
 					fmt.Fprintln(os.Stderr, "nsdf-netmon: metrics server:", err)
 				}
 			}()

@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"time"
 
 	"nsdfgo/internal/storage"
+	"nsdfgo/internal/telemetry"
 )
 
 func main() {
@@ -29,6 +31,7 @@ func run() error {
 	addr := flag.String("addr", ":9000", "listen address")
 	root := flag.String("root", "./objects", "object storage directory")
 	token := flag.String("token", "", "bearer token; empty serves a public store")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline bounding store I/O (0 disables)")
 	flag.Parse()
 
 	store, err := storage.NewFileStore(*root)
@@ -40,5 +43,11 @@ func run() error {
 		mode = "private (token auth)"
 	}
 	fmt.Printf("object store listening on %s, root %s, %s\n", *addr, *root, mode)
-	return http.ListenAndServe(*addr, storage.NewServer(store, *token))
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           telemetry.WithRequestTimeout(storage.NewServer(store, *token), *requestTimeout),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return srv.ListenAndServe()
 }

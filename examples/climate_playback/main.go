@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -62,12 +63,12 @@ func main() {
 	meta.Timesteps = months
 	meta.BitsPerBlock = 12
 	remote := storage.NewConditioned(storage.NewMemStore(), storage.ProfileRegional, seed)
-	ds, err := idx.Create(storage.NewIDXBackend(remote, "moisture_2016"), meta)
+	ds, err := idx.Create(context.Background(), storage.NewIDXBackend(remote, "moisture_2016"), meta)
 	if err != nil {
 		log.Fatal(err)
 	}
 	for t, g := range series {
-		if err := ds.WriteGrid("soil_moisture", t, g); err != nil {
+		if err := ds.WriteGrid(context.Background(), "soil_moisture", t, g); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -80,7 +81,7 @@ func main() {
 		start := time.Now()
 		fmt.Printf("\n== playback (%s): monthly mean moisture, preview level ==\n", label)
 		for t := 0; t < months; t++ {
-			res, err := engine.Read(query.Request{Field: "soil_moisture", Time: t, Level: 10})
+			res, err := engine.Read(context.Background(), query.Request{Field: "soil_moisture", Time: t, Level: 10})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -99,7 +100,7 @@ func main() {
 	wettest, driest := 0, 0
 	var wetMean, dryMean float64 = -1, 2
 	for t := 0; t < months; t++ {
-		res, err := engine.Read(query.Request{Field: "soil_moisture", Time: t, Level: 10})
+		res, err := engine.Read(context.Background(), query.Request{Field: "soil_moisture", Time: t, Level: 10})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -39,12 +40,12 @@ func main() {
 	}
 	meta.BitsPerBlock = 13
 	meta.Geo = scene.Geo
-	ds, err := idx.Create(storage.NewIDXBackend(remoteStore, "conus_30m"), meta)
+	ds, err := idx.Create(context.Background(), storage.NewIDXBackend(remoteStore, "conus_30m"), meta)
 	if err != nil {
 		log.Fatal(err)
 	}
 	start := time.Now()
-	if err := ds.WriteGrid("elevation", 0, scene); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, scene); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("uploaded to remote store in %.1fs (%d blocks)\n\n",
@@ -54,7 +55,7 @@ func main() {
 
 	// 1. National overview: progressive refinement of the full extent.
 	fmt.Println("== national overview, refining progressively over the WAN ==")
-	err = engine.Progressive(query.Request{Field: "elevation", Level: 16}, 6, 2,
+	err = engine.Progressive(context.Background(), query.Request{Field: "elevation", Level: 16}, 6, 2,
 		func(r query.Result) error {
 			fmt.Printf("  level %2d: %4dx%-3d  %7d bytes  %3d blocks fetched\n",
 				r.Level, r.Grid.W, r.Grid.H, r.Stats.BytesRead, r.Stats.BlocksRead)
@@ -68,7 +69,7 @@ func main() {
 	// resolution. Only the blocks under the window cross the wire.
 	rockies := idx.Box{X0: 160, Y0: 120, X1: 288, Y1: 216}
 	start = time.Now()
-	res, err := engine.Read(query.Request{Field: "elevation", Box: rockies, Level: query.LevelFull})
+	res, err := engine.Read(context.Background(), query.Request{Field: "elevation", Box: rockies, Level: query.LevelFull})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func main() {
 
 	// 3. Revisit: the cache absorbs the WAN.
 	start = time.Now()
-	if _, err := engine.Read(query.Request{Field: "elevation", Box: rockies, Level: query.LevelFull}); err != nil {
+	if _, err := engine.Read(context.Background(), query.Request{Field: "elevation", Box: rockies, Level: query.LevelFull}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\n== revisit the same window ==\n  served from cache in %v (hit rate %.2f)\n",

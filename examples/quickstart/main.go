@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,11 +35,11 @@ func main() {
 	}
 	meta.BitsPerBlock = 12 // 4096 samples per block
 	backend := idx.NewMemBackend()
-	ds, err := idx.Create(backend, meta)
+	ds, err := idx.Create(context.Background(), backend, meta)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := ds.WriteGrid("elevation", 0, elevation); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, elevation); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("stored as IDX: %d blocks, %d bytes total\n", backend.NumObjects()-1, backend.TotalBytes())
@@ -47,6 +48,7 @@ func main() {
 	// API: coarse levels arrive from a tiny prefix of the data.
 	engine := query.New(ds, 16<<20)
 	err = engine.Progressive(
+		context.Background(),
 		query.Request{Field: "elevation", Level: query.LevelFull},
 		4, 4,
 		func(r query.Result) error {
@@ -59,7 +61,7 @@ func main() {
 	}
 
 	// 4. Ad-hoc analysis of a subregion, dashboard-style.
-	res, err := engine.Read(query.Request{
+	res, err := engine.Read(context.Background(), query.Request{
 		Field: "elevation",
 		Box:   idx.Box{X0: 64, Y0: 64, X1: 192, Y1: 192},
 		Level: query.LevelFull,

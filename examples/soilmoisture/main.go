@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -100,14 +101,14 @@ func main() {
 		log.Fatal(err)
 	}
 	be := idx.NewMemBackend()
-	ds, err := idx.Create(be, meta)
+	ds, err := idx.Create(context.Background(), be, meta)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := ds.WriteGrid("soil_moisture_pred", 0, pred); err != nil {
+	if err := ds.WriteGrid(context.Background(), "soil_moisture_pred", 0, pred); err != nil {
 		log.Fatal(err)
 	}
-	if err := ds.WriteGrid("soil_moisture_truth", 0, truth); err != nil {
+	if err := ds.WriteGrid(context.Background(), "soil_moisture_truth", 0, truth); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("published IDX dataset: 2 fields, %d levels, %d bytes\n",

@@ -63,7 +63,7 @@ func main() {
 	ds := engine.Dataset()
 	east := idx.Box{X0: ds.Meta.Dims[0] * 3 / 4, Y0: 0, X1: ds.Meta.Dims[0], Y1: ds.Meta.Dims[1]}
 	fmt.Println("\n== step 4: progressive zoom into the eastern mountains ==")
-	err = engine.Progressive(query.Request{Field: "elevation", Box: east, Level: query.LevelFull}, 6, 3,
+	err = engine.Progressive(context.Background(), query.Request{Field: "elevation", Box: east, Level: query.LevelFull}, 6, 3,
 		func(r query.Result) error {
 			st := r.Grid.ComputeStats()
 			fmt.Printf("  level %2d: %3dx%-3d  mean elevation %.0f m  (%d bytes fetched)\n",

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -58,18 +59,18 @@ func main() {
 	}
 	meta.BitsPerBlock = 12
 	be := idx.NewMemBackend()
-	ds, err := idx.Create(be, meta)
+	ds, err := idx.Create(context.Background(), be, meta)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := ds.WriteVolume("moisture", 0, data); err != nil {
+	if err := ds.WriteVolume(context.Background(), "moisture", 0, data); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("stored: %d voxels in %d blocks, %d bytes, %d resolution levels\n\n",
 		w*h*depth, ds.Meta.NumBlocks(), be.TotalBytes(), ds.Meta.MaxLevel())
 
 	// 1. Coarse 3D preview: the whole volume at a fraction of the cost.
-	preview, stats, err := ds.ReadBox3D("moisture", 0, ds.FullBox3(), 9)
+	preview, stats, err := ds.ReadBox3D(context.Background(), "moisture", 0, ds.FullBox3(), 9)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func main() {
 	// 2. Depth profile: mean moisture per Z slice (full resolution).
 	fmt.Println("\ndepth profile (mean moisture per slice):")
 	for z := 0; z < depth; z += 4 {
-		slice, _, err := ds.ReadSliceZ("moisture", 0, z)
+		slice, _, err := ds.ReadSliceZ(context.Background(), "moisture", 0, z)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -106,7 +107,7 @@ func main() {
 	fmt.Printf("\nwettest preview voxel near (%d,%d,%d): %.3f\n", px, py, pz, best)
 
 	crop := idx.Box3{X0: px - 8, Y0: py - 8, Z0: pz - 4, X1: px + 8, Y1: py + 8, Z1: pz + 4}
-	vol, cropStats, err := ds.ReadBox3D("moisture", 0, ds.Clip3(crop), ds.Meta.MaxLevel())
+	vol, cropStats, err := ds.ReadBox3D(context.Background(), "moisture", 0, ds.Clip3(crop), ds.Meta.MaxLevel())
 	if err != nil {
 		log.Fatal(err)
 	}

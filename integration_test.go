@@ -73,7 +73,7 @@ func TestFullStackOverHTTP(t *testing.T) {
 		}
 		inputs = append(inputs, convert.Input{FieldName: name, Grid: g})
 	}
-	ds, err := convert.ToIDX(storage.NewIDXBackend(seal, "datasets/tn"), inputs, 10, "")
+	ds, err := convert.ToIDX(context.Background(), storage.NewIDXBackend(seal, "datasets/tn"), inputs, 10, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestFullStackOverHTTP(t *testing.T) {
 	// Register the dataset's fields in the catalog over its HTTP API.
 	var records []catalog.Record
 	for name := range grids {
-		size, err := ds.StoredBytes(name, 0)
+		size, err := ds.StoredBytes(context.Background(), name, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -102,12 +102,12 @@ func TestFullStackOverHTTP(t *testing.T) {
 	}
 
 	// --- Step 3: validate through a fresh dataset handle (reopen). ---
-	ds2, err := idx.Open(storage.NewIDXBackend(seal, "datasets/tn"))
+	ds2, err := idx.Open(context.Background(), storage.NewIDXBackend(seal, "datasets/tn"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for name, orig := range grids {
-		back, _, err := ds2.ReadFull(name, 0)
+		back, _, err := ds2.ReadFull(context.Background(), name, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -187,7 +187,7 @@ func TestNetCDFPipelineIntegration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds, err := convert.ToIDX(idx.NewMemBackend(), []convert.Input{{FieldName: "soil_moisture", Grid: loaded}}, 0, "")
+	ds, err := convert.ToIDX(context.Background(), idx.NewMemBackend(), []convert.Input{{FieldName: "soil_moisture", Grid: loaded}}, 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,12 +215,12 @@ func TestNetCDFPipelineIntegration(t *testing.T) {
 func TestWorkflowSurvivesFlakyStorage(t *testing.T) {
 	flaky := storage.NewRetry(storage.NewFlaky(storage.NewMemStore(), 0.15, 5), 12, 0)
 	scene := dem.Tennessee(96, 48, 9)
-	ds, err := convert.ToIDX(storage.NewIDXBackend(flaky, "ds"),
+	ds, err := convert.ToIDX(context.Background(), storage.NewIDXBackend(flaky, "ds"),
 		[]convert.Input{{FieldName: "elevation", Grid: scene}}, 8, "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	back, _, err := ds.ReadFull("elevation", 0)
+	back, _, err := ds.ReadFull(context.Background(), "elevation", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,11 +239,11 @@ func TestDashboardMultiDataset(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ds, err := idx.Create(idx.NewMemBackend(), meta)
+		ds, err := idx.Create(context.Background(), idx.NewMemBackend(), meta)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := ds.WriteGrid("f", 0, dem.FBM(w, 32, uint64(i), dem.DefaultFBM())); err != nil {
+		if err := ds.WriteGrid(context.Background(), "f", 0, dem.FBM(w, 32, uint64(i), dem.DefaultFBM())); err != nil {
 			t.Fatal(err)
 		}
 		dash.Register(name, query.New(ds, 1<<20))

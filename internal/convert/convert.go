@@ -12,6 +12,7 @@ package convert
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"image"
@@ -192,14 +193,15 @@ type IDXOptions struct {
 
 // ToIDX writes the inputs as fields of a new IDX dataset on the backend
 // with default write parallelism. See ToIDXWith.
-func ToIDX(be idx.Backend, inputs []Input, bitsPerBlock int, codec string) (*idx.Dataset, error) {
-	return ToIDXWith(be, inputs, IDXOptions{BitsPerBlock: bitsPerBlock, Codec: codec})
+func ToIDX(ctx context.Context, be idx.Backend, inputs []Input, bitsPerBlock int, codec string) (*idx.Dataset, error) {
+	return ToIDXWith(ctx, be, inputs, IDXOptions{BitsPerBlock: bitsPerBlock, Codec: codec})
 }
 
 // ToIDXWith writes the inputs as fields of a new IDX dataset on the
 // backend. All inputs must share dimensions; georeferencing is taken from
-// the first input that has it. Returns the dataset.
-func ToIDXWith(be idx.Backend, inputs []Input, opts IDXOptions) (*idx.Dataset, error) {
+// the first input that has it. ctx bounds all backend I/O. Returns the
+// dataset.
+func ToIDXWith(ctx context.Context, be idx.Backend, inputs []Input, opts IDXOptions) (*idx.Dataset, error) {
 	bitsPerBlock, codec := opts.BitsPerBlock, opts.Codec
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("convert: no inputs")
@@ -237,13 +239,13 @@ func ToIDXWith(be idx.Backend, inputs []Input, opts IDXOptions) (*idx.Dataset, e
 	if err := meta.Validate(); err != nil {
 		return nil, err
 	}
-	ds, err := idx.Create(be, meta)
+	ds, err := idx.Create(ctx, be, meta)
 	if err != nil {
 		return nil, err
 	}
 	ds.SetWriteParallelism(opts.WriteParallelism)
 	for _, in := range inputs {
-		if err := ds.WriteGrid(in.FieldName, 0, in.Grid); err != nil {
+		if err := ds.WriteGrid(ctx, in.FieldName, 0, in.Grid); err != nil {
 			return nil, fmt.Errorf("convert: write %s: %w", in.FieldName, err)
 		}
 	}

@@ -2,6 +2,7 @@ package convert
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"image"
 	"image/color"
@@ -212,21 +213,21 @@ func TestToIDXMultiFormat(t *testing.T) {
 		gB.Data[i] += 1000
 	}
 	be := idx.NewMemBackend()
-	ds, err := ToIDX(be, []Input{
+	ds, err := ToIDX(context.Background(), be, []Input{
 		{FieldName: "from_tiff", Grid: gA},
 		{FieldName: "from_netcdf", Grid: gB},
 	}, 8, "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	outA, _, err := ds.ReadFull("from_tiff", 0)
+	outA, _, err := ds.ReadFull(context.Background(), "from_tiff", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !raster.Equal(gA, outA) {
 		t.Error("field A mismatch")
 	}
-	outB, _, err := ds.ReadFull("from_netcdf", 0)
+	outB, _, err := ds.ReadFull(context.Background(), "from_netcdf", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,22 +241,22 @@ func TestToIDXMultiFormat(t *testing.T) {
 
 func TestToIDXValidation(t *testing.T) {
 	be := idx.NewMemBackend()
-	if _, err := ToIDX(be, nil, 8, ""); err == nil {
+	if _, err := ToIDX(context.Background(), be, nil, 8, ""); err == nil {
 		t.Error("empty inputs accepted")
 	}
-	if _, err := ToIDX(be, []Input{
+	if _, err := ToIDX(context.Background(), be, []Input{
 		{FieldName: "a", Grid: testGrid(4, 4)},
 		{FieldName: "b", Grid: testGrid(5, 4)},
 	}, 8, ""); err == nil {
 		t.Error("mismatched dims accepted")
 	}
-	if _, err := ToIDX(be, []Input{
+	if _, err := ToIDX(context.Background(), be, []Input{
 		{FieldName: "a", Grid: testGrid(4, 4)},
 		{FieldName: "a", Grid: testGrid(4, 4)},
 	}, 8, ""); err == nil {
 		t.Error("duplicate field accepted")
 	}
-	if _, err := ToIDX(be, []Input{{FieldName: "a", Grid: testGrid(4, 4)}}, 8, "nope"); err == nil {
+	if _, err := ToIDX(context.Background(), be, []Input{{FieldName: "a", Grid: testGrid(4, 4)}}, 8, "nope"); err == nil {
 		t.Error("unknown codec accepted")
 	}
 }
@@ -269,11 +270,11 @@ func TestEndToEndNetCDFToIDX(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds, err := ToIDX(idx.NewMemBackend(), []Input{{FieldName: SanitizeFieldName("soil.nc"), Grid: loaded}}, 0, "")
+	ds, err := ToIDX(context.Background(), idx.NewMemBackend(), []Input{{FieldName: SanitizeFieldName("soil.nc"), Grid: loaded}}, 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	back, _, err := ds.ReadFull("soil", 0)
+	back, _, err := ds.ReadFull(context.Background(), "soil", 0)
 	if err != nil {
 		t.Fatal(err)
 	}

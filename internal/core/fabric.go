@@ -239,17 +239,17 @@ func (f *Fabric) stepConvert(ctx context.Context, cfg TutorialConfig, bb *Blackb
 	}
 	meta.Geo = images[cfg.Params[0].String()].Geo
 	be := storage.NewIDXBackend(f.Private, "datasets/"+cfg.DatasetName)
-	ds, err := idx.Create(be, meta)
+	ds, err := idx.Create(ctx, be, meta)
 	if err != nil {
 		return err
 	}
 	idxBytes := make(map[string]int64, len(cfg.Params))
 	for _, p := range cfg.Params {
 		name := p.String()
-		if err := ds.WriteGrid(name, 0, images[name].Grid()); err != nil {
+		if err := ds.WriteGrid(ctx, name, 0, images[name].Grid()); err != nil {
 			return fmt.Errorf("write %s: %w", name, err)
 		}
-		n, err := ds.StoredBytes(name, 0)
+		n, err := ds.StoredBytes(ctx, name, 0)
 		if err != nil {
 			return err
 		}
@@ -282,7 +282,7 @@ func (f *Fabric) stepValidate(ctx context.Context, cfg TutorialConfig, bb *Black
 	reports := make(map[string]metrics.Report, len(cfg.Params))
 	for _, p := range cfg.Params {
 		name := p.String()
-		got, _, err := ds.ReadFull(name, 0)
+		got, _, err := ds.ReadFull(ctx, name, 0)
 		if err != nil {
 			return fmt.Errorf("read back %s: %w", name, err)
 		}
@@ -314,7 +314,7 @@ func (f *Fabric) stepVisualize(ctx context.Context, cfg TutorialConfig, bb *Blac
 	// Progressive preview of the full extent, coarse to fine.
 	firstParam := cfg.Params[0].String()
 	steps := 0
-	err = engine.Progressive(query.Request{Field: firstParam, Level: query.LevelFull}, 4, 4, func(res query.Result) error {
+	err = engine.Progressive(ctx, query.Request{Field: firstParam, Level: query.LevelFull}, 4, 4, func(res query.Result) error {
 		steps++
 		return nil
 	})
@@ -327,7 +327,7 @@ func (f *Fabric) stepVisualize(ctx context.Context, cfg TutorialConfig, bb *Blac
 
 	// Snip a central subregion and package it as the NumPy download.
 	box := idx.Box{X0: cfg.Width / 4, Y0: cfg.Height / 4, X1: cfg.Width * 3 / 4, Y1: cfg.Height * 3 / 4}
-	res, err := engine.Read(query.Request{Field: firstParam, Box: box, Level: query.LevelFull})
+	res, err := engine.Read(ctx, query.Request{Field: firstParam, Box: box, Level: query.LevelFull})
 	if err != nil {
 		return fmt.Errorf("snip: %w", err)
 	}

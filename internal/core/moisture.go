@@ -243,17 +243,17 @@ func (f *Fabric) moisturePublish(ctx context.Context, cfg MoistureConfig, bb *Bl
 		return err
 	}
 	be := storage.NewIDXBackend(f.Private, "datasets/"+cfg.DatasetName)
-	ds, err := idx.Create(be, meta)
+	ds, err := idx.Create(ctx, be, meta)
 	if err != nil {
 		return err
 	}
-	if err := ds.WriteGrid("soil_moisture_pred", 0, pred); err != nil {
+	if err := ds.WriteGrid(ctx, "soil_moisture_pred", 0, pred); err != nil {
 		return err
 	}
-	if err := ds.WriteGrid("soil_moisture_truth", 0, truth); err != nil {
+	if err := ds.WriteGrid(ctx, "soil_moisture_truth", 0, truth); err != nil {
 		return err
 	}
-	size, err := ds.StoredBytes("soil_moisture_pred", 0)
+	size, err := ds.StoredBytes(ctx, "soil_moisture_pred", 0)
 	if err != nil {
 		return err
 	}

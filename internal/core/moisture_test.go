@@ -81,7 +81,7 @@ func TestMoistureWorkflowEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, field := range []string{"soil_moisture_pred", "soil_moisture_truth"} {
-		res, err := engine.Read(query.Request{Field: field, Level: query.LevelFull})
+		res, err := engine.Read(context.Background(), query.Request{Field: field, Level: query.LevelFull})
 		if err != nil {
 			t.Fatalf("%s: %v", field, err)
 		}
@@ -123,7 +123,7 @@ func TestMoistureDatasetReopens(t *testing.T) {
 		t.Fatalf("%v\n%s", err, trail)
 	}
 	// The product is on the fabric's private store, openable independently.
-	ds, err := idx.Open(storage.NewIDXBackend(f.Private, "datasets/soil_moisture"))
+	ds, err := idx.Open(context.Background(), storage.NewIDXBackend(f.Private, "datasets/soil_moisture"))
 	if err != nil {
 		t.Fatal(err)
 	}

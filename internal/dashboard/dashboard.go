@@ -9,7 +9,9 @@
 package dashboard
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"image"
 	"image/png"
@@ -256,7 +258,7 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	}
 	grid, res, err := s.readRegion(e, req, r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		readError(w, err)
 		return
 	}
 	// Manual colormap range, or dynamic from the delivered data.
@@ -298,7 +300,7 @@ func (s *Server) handleData(w http.ResponseWriter, r *http.Request) {
 	}
 	grid, _, err := s.readRegion(e, req, r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		readError(w, err)
 		return
 	}
 	payload, err := EncodeNPY(grid)
@@ -361,9 +363,9 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.Level = query.LevelFull
-	res, err := e.Read(req)
+	res, err := e.Read(r.Context(), req)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		readError(w, err)
 		return
 	}
 	writeJSON(w, map[string]any{
@@ -382,7 +384,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	_, res, err := s.readRegion(e, req, r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		readError(w, err)
 		return
 	}
 	st := res.Grid.ComputeStats()
@@ -435,6 +437,21 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(v)
+}
+
+// readError reports a failed region read. A cancelled request context
+// means the client is gone — there is nobody to write an error to, so
+// the handler just returns (the status recorder still books a 499-style
+// abandonment as the default 200 with zero body). A deadline expiry maps
+// to 504; everything else is treated as a bad request.
+func readError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "dashboard: request deadline exceeded", http.StatusGatewayTimeout)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
 }
 
 const indexHTML = `<!DOCTYPE html>

@@ -1,6 +1,7 @@
 package dashboard
 
 import (
+	"context"
 	"encoding/json"
 	"image/png"
 	"io"
@@ -30,14 +31,14 @@ func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	}
 	meta.Timesteps = 3
 	meta.BitsPerBlock = 8
-	ds, err := idx.Create(idx.NewMemBackend(), meta)
+	ds, err := idx.Create(context.Background(), idx.NewMemBackend(), meta)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for fi, f := range []string{"elevation", "hillshade"} {
 		for ts := 0; ts < 3; ts++ {
 			g := dem.Scale(dem.FBM(64, 64, uint64(100*fi+ts+1), dem.DefaultFBM()), 0, 1000)
-			if err := ds.WriteGrid(f, ts, g); err != nil {
+			if err := ds.WriteGrid(context.Background(), f, ts, g); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -335,9 +336,9 @@ func TestRenderImageNaNTransparent(t *testing.T) {
 func BenchmarkRenderTile(b *testing.B) {
 	meta, _ := idx.NewMeta([]int{256, 256}, []idx.Field{{Name: "elevation", Type: idx.Float32, Codec: "zlib"}})
 	meta.BitsPerBlock = 12
-	ds, _ := idx.Create(idx.NewMemBackend(), meta)
+	ds, _ := idx.Create(context.Background(), idx.NewMemBackend(), meta)
 	g := dem.Scale(dem.FBM(256, 256, 1, dem.DefaultFBM()), 0, 1000)
-	if err := ds.WriteGrid("elevation", 0, g); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, g); err != nil {
 		b.Fatal(err)
 	}
 	s := NewServer()

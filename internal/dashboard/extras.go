@@ -52,7 +52,7 @@ func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
 	}
 	grid, res, err := s.readRegion(e, req, r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		readError(w, err)
 		return
 	}
 	lo, hi, ok := grid.MinMax()
@@ -111,9 +111,9 @@ func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "dashboard: probe needs integer x and y", http.StatusBadRequest)
 		return
 	}
-	values, err := e.ProbePoint(field, x, y)
+	values, err := e.ProbePoint(r.Context(), field, x, y)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		readError(w, err)
 		return
 	}
 	writeJSON(w, map[string]any{"field": field, "x": x, "y": y, "values": values})
@@ -164,7 +164,7 @@ func (s *Server) handleExportTIFF(w http.ResponseWriter, r *http.Request) {
 	}
 	grid, _, err := s.readRegion(e, req, r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		readError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "image/tiff")
@@ -191,7 +191,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	}
 	gridA, resA, err := s.readRegion(e, req, r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		readError(w, err)
 		return
 	}
 	reqB := req
@@ -199,7 +199,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	reqB.Level = resA.Level // identical lattice
 	gridB, _, err := s.readRegion(e, reqB, r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		readError(w, err)
 		return
 	}
 	rep, err := metrics.Compare(gridA.Data, gridB.Data, gridA.W, gridA.H)

@@ -1,6 +1,7 @@
 package dashboard
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -23,11 +24,11 @@ func TestMetricsEndpointBreadth(t *testing.T) {
 		t.Fatal(err)
 	}
 	meta.BitsPerBlock = 8
-	ds, err := idx.Create(idx.NewMemBackend(), meta)
+	ds, err := idx.Create(context.Background(), idx.NewMemBackend(), meta)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ds.WriteGrid("elevation", 0, dem.Scale(dem.FBM(64, 64, 3, dem.DefaultFBM()), 0, 1000)); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, dem.Scale(dem.FBM(64, 64, 3, dem.DefaultFBM()), 0, 1000)); err != nil {
 		t.Fatal(err)
 	}
 

@@ -17,11 +17,12 @@ import (
 // readRegion evaluates a request against a 2D or 3D dataset, returning a
 // 2D grid either way. For 3D datasets the request's box is interpreted in
 // the XY plane of slice z (clamped to the dataset depth and aligned to
-// the level's Z lattice).
+// the level's Z lattice). The HTTP request's context bounds all block
+// I/O: when the client disconnects, in-flight fetches abort.
 func (s *Server) readRegion(e *query.Engine, req query.Request, r *http.Request) (*raster.Grid, query.Result, error) {
 	ds := e.Dataset()
 	if len(ds.Meta.Dims) == 2 {
-		res, err := e.Read(req)
+		res, err := e.Read(r.Context(), req)
 		if err != nil {
 			return nil, query.Result{}, err
 		}
@@ -58,7 +59,7 @@ func (s *Server) readRegion(e *query.Engine, req query.Request, r *http.Request)
 	if box.X1 == 0 && box.Y1 == 0 { // zero box means full XY extent
 		box.X1, box.Y1 = ds.Meta.Dims[0], ds.Meta.Dims[1]
 	}
-	vol, stats, err := ds.ReadBox3D(req.Field, req.Time, ds.Clip3(box), level)
+	vol, stats, err := ds.ReadBox3D(r.Context(), req.Field, req.Time, ds.Clip3(box), level)
 	if err != nil {
 		return nil, query.Result{}, err
 	}

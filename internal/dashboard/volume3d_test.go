@@ -1,6 +1,7 @@
 package dashboard
 
 import (
+	"context"
 	"encoding/json"
 	"image/png"
 	"net/http"
@@ -21,7 +22,7 @@ func newVolumeServer(t *testing.T) *httptest.Server {
 		t.Fatal(err)
 	}
 	meta.BitsPerBlock = 8
-	ds, err := idx.Create(idx.NewMemBackend(), meta)
+	ds, err := idx.Create(context.Background(), idx.NewMemBackend(), meta)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func newVolumeServer(t *testing.T) *httptest.Server {
 			}
 		}
 	}
-	if err := ds.WriteVolume("density", 0, data); err != nil {
+	if err := ds.WriteVolume(context.Background(), "density", 0, data); err != nil {
 		t.Fatal(err)
 	}
 	s := NewServer()

@@ -68,10 +68,12 @@ func RunFig1(w io.Writer) (Fig1Result, error) {
 	if err != nil {
 		return res, err
 	}
+	//lint:allow ctxbackground experiment harness runs standalone from the CLI
 	_, trail, err := wf.Run(context.Background())
 	res.Goals["construct a modular workflow on top of NSDF"] = err == nil && !trail.Failed()
 
 	// Goal 2: upload, download, and stream data (public + private).
+	//lint:allow ctxbackground experiment harness runs standalone from the CLI
 	ctx := context.Background()
 	priv := storage.NewMemStore()
 	upErr := priv.Put(ctx, "probe/object", []byte("payload"))
@@ -81,6 +83,7 @@ func RunFig1(w io.Writer) (Fig1Result, error) {
 	// Goal 3: deploy NSDF services such as the NSDF-dashboard.
 	dashboardOK := false
 	if bbEngine, err2 := func() (*query.Engine, error) {
+		//lint:allow ctxbackground experiment harness runs standalone from the CLI
 		bb, _, err := wf.Run(context.Background())
 		if err != nil {
 			return nil, err
@@ -153,6 +156,7 @@ func RunFig3(w io.Writer) (Fig3Result, error) {
 		return Fig3Result{}, err
 	}
 	payload := tiffBuf.Bytes()
+	//lint:allow ctxbackground experiment harness runs standalone from the CLI
 	ctx := context.Background()
 
 	profiles := map[string]storage.NetworkProfile{
@@ -179,11 +183,11 @@ func RunFig3(w io.Writer) (Fig3Result, error) {
 		if err != nil {
 			return res, err
 		}
-		ds, err := idx.Create(idx.NewMemBackend(), meta)
+		ds, err := idx.Create(ctx, idx.NewMemBackend(), meta)
 		if err != nil {
 			return res, err
 		}
-		if err := ds.WriteGrid("elevation", 0, im.Grid()); err != nil {
+		if err := ds.WriteGrid(ctx, "elevation", 0, im.Grid()); err != nil {
 			return res, err
 		}
 		res.Sources[name] = time.Since(start)
@@ -208,6 +212,7 @@ func RunFig4(w io.Writer) (Fig4Result, error) {
 	if err != nil {
 		return Fig4Result{}, err
 	}
+	//lint:allow ctxbackground experiment harness runs standalone from the CLI
 	_, trail, err := wf.Run(context.Background())
 	if err != nil {
 		return Fig4Result{}, err
@@ -280,6 +285,7 @@ type Fig6Result struct {
 // scientific metrics. The lossless path must be identical.
 func RunFig6(w io.Writer) (Fig6Result, error) {
 	fmt.Fprintln(w, "== Fig. 6: static validation of TIFF-derived vs IDX-derived rasters ==")
+	ctx := context.Background() //lint:allow ctxbackground experiment harness runs standalone from the CLI
 	d := dem.Tennessee(512, 256, Seed)
 	res := Fig6Result{Reports: map[string]metrics.Report{}}
 	for _, p := range geotiled.TutorialParams {
@@ -301,14 +307,14 @@ func RunFig6(w io.Writer) (Fig6Result, error) {
 		if err != nil {
 			return res, err
 		}
-		ds, err := idx.Create(idx.NewMemBackend(), meta)
+		ds, err := idx.Create(ctx, idx.NewMemBackend(), meta)
 		if err != nil {
 			return res, err
 		}
-		if err := ds.WriteGrid(p.String(), 0, im.Grid()); err != nil {
+		if err := ds.WriteGrid(ctx, p.String(), 0, im.Grid()); err != nil {
 			return res, err
 		}
-		back, _, err := ds.ReadFull(p.String(), 0)
+		back, _, err := ds.ReadFull(ctx, p.String(), 0)
 		if err != nil {
 			return res, err
 		}
@@ -336,18 +342,19 @@ type Fig7Result struct {
 // showing progressive refinement costs and the effect of the cache.
 func RunFig7(w io.Writer) (Fig7Result, error) {
 	fmt.Fprintln(w, "== Fig. 7: interactive dashboard session against a remote store ==")
+	ctx := context.Background() //lint:allow ctxbackground experiment harness runs standalone from the CLI
 	meta, err := idx.NewMeta([]int{512, 512}, []idx.Field{{Name: "elevation", Type: idx.Float32}})
 	if err != nil {
 		return Fig7Result{}, err
 	}
 	meta.BitsPerBlock = 12
 	remote := storage.NewConditioned(storage.NewMemStore(), storage.ProfileCrossCountry, Seed)
-	ds, err := idx.Create(storage.NewIDXBackend(remote, "conus"), meta)
+	ds, err := idx.Create(ctx, storage.NewIDXBackend(remote, "conus"), meta)
 	if err != nil {
 		return Fig7Result{}, err
 	}
 	g := dem.Scale(dem.FBM(512, 512, Seed, dem.DefaultFBM()), 0, 3000)
-	if err := ds.WriteGrid("elevation", 0, g); err != nil {
+	if err := ds.WriteGrid(ctx, "elevation", 0, g); err != nil {
 		return Fig7Result{}, err
 	}
 	engine := query.New(ds, 64<<20)
@@ -359,7 +366,7 @@ func RunFig7(w io.Writer) (Fig7Result, error) {
 		// reflects real transfers, so only it records the (cumulative)
 		// fetch volume per refinement level.
 		var fetched int64
-		err := engine.Progressive(query.Request{Field: "elevation", Level: query.LevelFull}, 6, 4, func(r query.Result) error {
+		err := engine.Progressive(ctx, query.Request{Field: "elevation", Level: query.LevelFull}, 6, 4, func(r query.Result) error {
 			fetched += r.Stats.BytesRead
 			if recordLevels {
 				res.LevelBytes[r.Level] = fetched
@@ -377,12 +384,12 @@ func RunFig7(w io.Writer) (Fig7Result, error) {
 			{X0: 256, Y0: 256, X1: 512, Y1: 512},
 		}
 		for _, b := range quadrants {
-			if _, err := engine.Read(query.Request{Field: "elevation", Box: b, Level: 14}); err != nil {
+			if _, err := engine.Read(ctx, query.Request{Field: "elevation", Box: b, Level: 14}); err != nil {
 				return 0, err
 			}
 		}
 		// Snip: full-resolution crop of the centre.
-		if _, err := engine.Read(query.Request{Field: "elevation", Box: idx.Box{X0: 192, Y0: 192, X1: 320, Y1: 320}, Level: query.LevelFull}); err != nil {
+		if _, err := engine.Read(ctx, query.Request{Field: "elevation", Box: idx.Box{X0: 192, Y0: 192, X1: 320, Y1: 320}, Level: query.LevelFull}); err != nil {
 			return 0, err
 		}
 		return time.Since(start), nil
@@ -438,6 +445,7 @@ type Claim20Result struct {
 // samples, which is where the additional reduction comes from.
 func RunClaim20(w io.Writer) (Claim20Result, error) {
 	fmt.Fprintln(w, "== Claim §IV-B: TIFF -> IDX size reduction with accuracy preserved ==")
+	ctx := context.Background() //lint:allow ctxbackground experiment harness runs standalone from the CLI
 	d := dem.Tennessee(1024, 512, Seed)
 	res := Claim20Result{TIFFBytes: map[string]int64{}, IDXBytes: map[string]int64{}, AllIdentical: true}
 	var tiffTotal, idxTotal int64
@@ -457,21 +465,21 @@ func RunClaim20(w io.Writer) (Claim20Result, error) {
 		if err != nil {
 			return res, err
 		}
-		ds, err := idx.Create(idx.NewMemBackend(), meta)
+		ds, err := idx.Create(ctx, idx.NewMemBackend(), meta)
 		if err != nil {
 			return res, err
 		}
-		if err := ds.WriteGrid(p.String(), 0, g); err != nil {
+		if err := ds.WriteGrid(ctx, p.String(), 0, g); err != nil {
 			return res, err
 		}
-		n, err := ds.StoredBytes(p.String(), 0)
+		n, err := ds.StoredBytes(ctx, p.String(), 0)
 		if err != nil {
 			return res, err
 		}
 		res.IDXBytes[p.String()] = n
 		idxTotal += n
 
-		back, _, err := ds.ReadFull(p.String(), 0)
+		back, _, err := ds.ReadFull(ctx, p.String(), 0)
 		if err != nil {
 			return res, err
 		}
@@ -500,29 +508,30 @@ type ClaimCacheResult struct {
 // be far faster than cold remote access.
 func RunClaimCache(w io.Writer) (ClaimCacheResult, error) {
 	fmt.Fprintln(w, "== Claim §III-A: caching-enabled streaming (cold vs warm) ==")
+	ctx := context.Background() //lint:allow ctxbackground experiment harness runs standalone from the CLI
 	meta, err := idx.NewMeta([]int{256, 256}, []idx.Field{{Name: "elevation", Type: idx.Float32}})
 	if err != nil {
 		return ClaimCacheResult{}, err
 	}
 	meta.BitsPerBlock = 12
 	remote := storage.NewConditioned(storage.NewMemStore(), storage.ProfileCrossCountry, Seed)
-	ds, err := idx.Create(storage.NewIDXBackend(remote, "ds"), meta)
+	ds, err := idx.Create(ctx, storage.NewIDXBackend(remote, "ds"), meta)
 	if err != nil {
 		return ClaimCacheResult{}, err
 	}
-	if err := ds.WriteGrid("elevation", 0, dem.Scale(dem.FBM(256, 256, Seed, dem.DefaultFBM()), 0, 1000)); err != nil {
+	if err := ds.WriteGrid(ctx, "elevation", 0, dem.Scale(dem.FBM(256, 256, Seed, dem.DefaultFBM()), 0, 1000)); err != nil {
 		return ClaimCacheResult{}, err
 	}
 	lru := cache.NewLRU(64 << 20)
 	ds.SetCache(lru)
 	var res ClaimCacheResult
 	start := time.Now()
-	if _, _, err := ds.ReadFull("elevation", 0); err != nil {
+	if _, _, err := ds.ReadFull(ctx, "elevation", 0); err != nil {
 		return res, err
 	}
 	res.Cold = time.Since(start)
 	start = time.Now()
-	if _, _, err := ds.ReadFull("elevation", 0); err != nil {
+	if _, _, err := ds.ReadFull(ctx, "elevation", 0); err != nil {
 		return res, err
 	}
 	res.Warm = time.Since(start)

@@ -35,6 +35,14 @@ func New(ctx context.Context, store storage.Store, mapping Mapping) *FS {
 // Mapping returns the FS's mapping package.
 func (f *FS) Mapping() Mapping { return f.mapping }
 
+// WithContext returns a view of the same store and mapping whose
+// operations are bounded by ctx instead of the FS's base context — the
+// per-request derivation a server uses to make each client's FS calls
+// cancellable with that client's request.
+func (f *FS) WithContext(ctx context.Context) *FS {
+	return &FS{store: f.store, mapping: f.mapping, ctx: ctx}
+}
+
 // WriteFile stores data at name.
 func (f *FS) WriteFile(name string, data []byte) error {
 	if !fs.ValidPath(name) || name == "." {

@@ -1,6 +1,7 @@
 package idx
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -16,9 +17,9 @@ type failFirstPutBackend struct {
 	blockPut int
 }
 
-func (b *failFirstPutBackend) Put(name string, data []byte) error {
+func (b *failFirstPutBackend) Put(ctx context.Context, name string, data []byte) error {
 	if !strings.HasPrefix(name, BlockPrefix) {
-		return b.MemBackend.Put(name, data) // descriptor writes pass through
+		return b.MemBackend.Put(ctx, name, data) // descriptor writes pass through
 	}
 	b.mu.Lock()
 	b.blockPut++
@@ -30,7 +31,7 @@ func (b *failFirstPutBackend) Put(name string, data []byte) error {
 	// Successful block stores are slow enough that workers not observing
 	// the abort flag would take measurable wall time per block.
 	time.Sleep(time.Millisecond)
-	return b.MemBackend.Put(name, data)
+	return b.MemBackend.Put(ctx, name, data)
 }
 
 func (b *failFirstPutBackend) puts() int {
@@ -49,14 +50,14 @@ func TestWriteGridAbortsOnError(t *testing.T) {
 		t.Fatal(err)
 	}
 	meta.BitsPerBlock = 8 // 64 blocks
-	ds, err := Create(be, meta)
+	ds, err := Create(context.Background(), be, meta)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ds.SetWriteParallelism(2)
 	numBlocks := meta.NumBlocks()
 
-	err = ds.WriteGrid("v", 0, rampGrid(128, 128))
+	err = ds.WriteGrid(context.Background(), "v", 0, rampGrid(128, 128))
 	if err == nil {
 		t.Fatal("WriteGrid succeeded despite failing backend")
 	}

@@ -1,6 +1,7 @@
 package idx
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -15,15 +16,19 @@ import (
 // are adapted to this interface by the query layer; this package ships a
 // memory backend and a directory backend so datasets work standalone.
 //
-// Implementations must be safe for concurrent use.
+// Every method takes the caller's context: a dataset served over a
+// wide-area object store must abort promptly when the request that
+// triggered the I/O is cancelled or deadline-bounded. Implementations
+// must honour ctx cancellation (at minimum by checking ctx.Err() before
+// doing work) and must be safe for concurrent use.
 type Backend interface {
 	// Get returns the object stored under name, or an error satisfying
 	// IsNotExist when absent.
-	Get(name string) ([]byte, error)
+	Get(ctx context.Context, name string) ([]byte, error)
 	// Put stores data under name, replacing any previous object.
-	Put(name string, data []byte) error
+	Put(ctx context.Context, name string, data []byte) error
 	// List returns all object names with the given prefix, sorted.
-	List(prefix string) ([]string, error)
+	List(ctx context.Context, prefix string) ([]string, error)
 }
 
 // Deleter is the optional backend capability Create uses to clear stale
@@ -33,7 +38,7 @@ type Backend interface {
 type Deleter interface {
 	// Delete removes the object stored under name; deleting a missing
 	// object is not an error.
-	Delete(name string) error
+	Delete(ctx context.Context, name string) error
 }
 
 // NotExistError reports a missing object.
@@ -64,7 +69,10 @@ func NewMemBackend() *MemBackend {
 }
 
 // Get implements Backend.
-func (m *MemBackend) Get(name string) ([]byte, error) {
+func (m *MemBackend) Get(ctx context.Context, name string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	data, ok := m.objects[name]
@@ -77,7 +85,10 @@ func (m *MemBackend) Get(name string) ([]byte, error) {
 }
 
 // Put implements Backend.
-func (m *MemBackend) Put(name string, data []byte) error {
+func (m *MemBackend) Put(ctx context.Context, name string, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	m.mu.Lock()
@@ -87,7 +98,10 @@ func (m *MemBackend) Put(name string, data []byte) error {
 }
 
 // Delete implements Deleter.
-func (m *MemBackend) Delete(name string) error {
+func (m *MemBackend) Delete(ctx context.Context, name string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	delete(m.objects, name)
@@ -95,7 +109,10 @@ func (m *MemBackend) Delete(name string) error {
 }
 
 // List implements Backend.
-func (m *MemBackend) List(prefix string) ([]string, error) {
+func (m *MemBackend) List(ctx context.Context, prefix string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	out := make([]string, 0, len(m.objects))
@@ -150,7 +167,10 @@ func (d *DirBackend) path(name string) (string, error) {
 }
 
 // Get implements Backend.
-func (d *DirBackend) Get(name string) ([]byte, error) {
+func (d *DirBackend) Get(ctx context.Context, name string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	p, err := d.path(name)
 	if err != nil {
 		return nil, err
@@ -166,7 +186,10 @@ func (d *DirBackend) Get(name string) ([]byte, error) {
 }
 
 // Put implements Backend.
-func (d *DirBackend) Put(name string, data []byte) error {
+func (d *DirBackend) Put(ctx context.Context, name string, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	p, err := d.path(name)
 	if err != nil {
 		return err
@@ -185,7 +208,10 @@ func (d *DirBackend) Put(name string, data []byte) error {
 }
 
 // Delete implements Deleter.
-func (d *DirBackend) Delete(name string) error {
+func (d *DirBackend) Delete(ctx context.Context, name string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	p, err := d.path(name)
 	if err != nil {
 		return err
@@ -197,10 +223,16 @@ func (d *DirBackend) Delete(name string) error {
 }
 
 // List implements Backend.
-func (d *DirBackend) List(prefix string) ([]string, error) {
+func (d *DirBackend) List(ctx context.Context, prefix string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var out []string
 	err := filepath.WalkDir(d.root, func(p string, de os.DirEntry, err error) error {
 		if err != nil || de.IsDir() {
+			return err
+		}
+		if err := ctx.Err(); err != nil {
 			return err
 		}
 		rel, err := filepath.Rel(d.root, p)

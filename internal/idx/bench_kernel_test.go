@@ -1,6 +1,7 @@
 package idx
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -77,7 +78,7 @@ func readBoxPerSample(d *Dataset, field string, t int, box Box, level int) (*ras
 	}
 	sort.Ints(misses)
 	for _, b := range misses {
-		raw, n, err := d.fetchBlock(field, t, b, codec, rawBlockLen)
+		raw, n, err := d.fetchBlock(context.Background(), field, t, b, codec, rawBlockLen)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -154,7 +155,7 @@ func writeGridPerSample(d *Dataset, field string, t int, g *raster.Grid) error {
 					errCh <- err
 					return
 				}
-				if err := d.be.Put(d.BlockKey(field, t, b), enc); err != nil {
+				if err := d.be.Put(context.Background(), d.BlockKey(field, t, b), enc); err != nil {
 					errCh <- err
 					return
 				}
@@ -184,16 +185,16 @@ func newKernelBenchDataset(tb testing.TB) (*Dataset, *raster.Grid) {
 	if err != nil {
 		tb.Fatal(err)
 	}
-	ds, err := Create(NewMemBackend(), meta)
+	ds, err := Create(context.Background(), NewMemBackend(), meta)
 	if err != nil {
 		tb.Fatal(err)
 	}
 	g := rampGrid(benchSide, benchSide)
-	if err := ds.WriteGrid("v", 0, g); err != nil {
+	if err := ds.WriteGrid(context.Background(), "v", 0, g); err != nil {
 		tb.Fatal(err)
 	}
 	ds.SetCache(cache.NewLRU(64 << 20))
-	if _, _, err := ds.ReadFull("v", 0); err != nil {
+	if _, _, err := ds.ReadFull(context.Background(), "v", 0); err != nil {
 		tb.Fatal(err)
 	}
 	return ds, g
@@ -208,7 +209,7 @@ func verifyKernelAgreement(tb testing.TB, ds *Dataset) {
 		if err != nil {
 			tb.Fatal(err)
 		}
-		got, _, err := ds.ReadBox("v", 0, ds.FullBox(), level)
+		got, _, err := ds.ReadBox(context.Background(), "v", 0, ds.FullBox(), level)
 		if err != nil {
 			tb.Fatal(err)
 		}
@@ -234,7 +235,7 @@ func BenchmarkReadBoxKernel(b *testing.B) {
 		b.SetBytes(int64(benchSide * benchSide * 4))
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := ds.ReadBox("v", 0, box, level); err != nil {
+			if _, _, err := ds.ReadBox(context.Background(), "v", 0, box, level); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -258,7 +259,7 @@ func BenchmarkWriteGridKernel(b *testing.B) {
 		b.SetBytes(int64(benchSide * benchSide * 4))
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if err := ds.WriteGrid("v", 0, g); err != nil {
+			if err := ds.WriteGrid(context.Background(), "v", 0, g); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -341,7 +342,7 @@ func TestBenchReadpathEmit(t *testing.T) {
 
 	read := compare(
 		func() {
-			if _, _, err := ds.ReadBox("v", 0, box, level); err != nil {
+			if _, _, err := ds.ReadBox(context.Background(), "v", 0, box, level); err != nil {
 				t.Fatal(err)
 			}
 		},
@@ -353,7 +354,7 @@ func TestBenchReadpathEmit(t *testing.T) {
 	)
 	write := compare(
 		func() {
-			if err := ds.WriteGrid("v", 0, g); err != nil {
+			if err := ds.WriteGrid(context.Background(), "v", 0, g); err != nil {
 				t.Fatal(err)
 			}
 		},

@@ -1,6 +1,7 @@
 package idx
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -15,9 +16,17 @@ type noDeleteBackend struct {
 	m *MemBackend
 }
 
-func (b *noDeleteBackend) Get(name string) ([]byte, error)      { return b.m.Get(name) }
-func (b *noDeleteBackend) Put(name string, data []byte) error   { return b.m.Put(name, data) }
-func (b *noDeleteBackend) List(prefix string) ([]string, error) { return b.m.List(prefix) }
+func (b *noDeleteBackend) Get(ctx context.Context, name string) ([]byte, error) {
+	return b.m.Get(ctx, name)
+}
+
+func (b *noDeleteBackend) Put(ctx context.Context, name string, data []byte) error {
+	return b.m.Put(ctx, name, data)
+}
+
+func (b *noDeleteBackend) List(ctx context.Context, prefix string) ([]string, error) {
+	return b.m.List(ctx, prefix)
+}
 
 // TestCreateRemovesStaleBlocks is the regression test for re-creating a
 // dataset over a backend that still holds the previous dataset's blocks:
@@ -29,14 +38,14 @@ func TestCreateRemovesStaleBlocks(t *testing.T) {
 		t.Fatal(err)
 	}
 	be := NewMemBackend()
-	ds, err := Create(be, meta)
+	ds, err := Create(context.Background(), be, meta)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ds.WriteGrid("elevation", 0, rampGrid(32, 32)); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, rampGrid(32, 32)); err != nil {
 		t.Fatal(err)
 	}
-	blocks, err := be.List(BlockPrefix)
+	blocks, err := be.List(context.Background(), BlockPrefix)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,11 +53,11 @@ func TestCreateRemovesStaleBlocks(t *testing.T) {
 		t.Fatal("write left no blocks; test setup broken")
 	}
 
-	ds2, err := Create(be, meta)
+	ds2, err := Create(context.Background(), be, meta)
 	if err != nil {
 		t.Fatalf("re-Create over existing blocks: %v", err)
 	}
-	left, err := be.List(BlockPrefix)
+	left, err := be.List(context.Background(), BlockPrefix)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +66,7 @@ func TestCreateRemovesStaleBlocks(t *testing.T) {
 	}
 	// The re-created dataset is empty: a read must fail rather than
 	// return the previous dataset's samples.
-	if _, _, err := ds2.ReadFull("elevation", 0); err == nil {
+	if _, _, err := ds2.ReadFull(context.Background(), "elevation", 0); err == nil {
 		t.Error("ReadFull on freshly re-created dataset succeeded — served stale blocks")
 	}
 }
@@ -71,20 +80,20 @@ func TestCreateRefusesStaleBlocksWithoutDeleter(t *testing.T) {
 	}
 	inner := NewMemBackend()
 	be := &noDeleteBackend{m: inner}
-	ds, err := Create(be, meta)
+	ds, err := Create(context.Background(), be, meta)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ds.WriteGrid("elevation", 0, rampGrid(32, 32)); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, rampGrid(32, 32)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Create(be, meta); err == nil {
+	if _, err := Create(context.Background(), be, meta); err == nil {
 		t.Fatal("Create over stale blocks succeeded on a backend without Delete")
 	} else if !strings.Contains(err.Error(), "stale blocks") {
 		t.Errorf("error %q does not mention stale blocks", err)
 	}
 	// A clean backend still works.
-	if _, err := Create(&noDeleteBackend{m: NewMemBackend()}, meta); err != nil {
+	if _, err := Create(context.Background(), &noDeleteBackend{m: NewMemBackend()}, meta); err != nil {
 		t.Errorf("Create on clean non-deleting backend: %v", err)
 	}
 }
@@ -92,15 +101,15 @@ func TestCreateRefusesStaleBlocksWithoutDeleter(t *testing.T) {
 // TestDeleteMissingObjectIsNoError pins the Deleter contract both
 // in-memory and on-disk backends share.
 func TestDeleteMissingObjectIsNoError(t *testing.T) {
-	if err := NewMemBackend().Delete("absent"); err != nil {
-		t.Errorf("MemBackend.Delete(absent) = %v", err)
+	if err := NewMemBackend().Delete(context.Background(), "absent"); err != nil {
+		t.Errorf("MemBackend.Delete(context.Background(), absent) = %v", err)
 	}
 	dir, err := NewDirBackend(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := dir.Delete("absent"); err != nil {
-		t.Errorf("DirBackend.Delete(absent) = %v", err)
+	if err := dir.Delete(context.Background(), "absent"); err != nil {
+		t.Errorf("DirBackend.Delete(context.Background(), absent) = %v", err)
 	}
 }
 
@@ -112,7 +121,7 @@ type putCountingBackend struct {
 	peak    int
 }
 
-func (b *putCountingBackend) Put(name string, data []byte) error {
+func (b *putCountingBackend) Put(ctx context.Context, name string, data []byte) error {
 	b.mu.Lock()
 	b.current++
 	if b.current > b.peak {
@@ -126,7 +135,7 @@ func (b *putCountingBackend) Put(name string, data []byte) error {
 		b.current--
 		b.mu.Unlock()
 	}()
-	return b.MemBackend.Put(name, data)
+	return b.MemBackend.Put(ctx, name, data)
 }
 
 func (b *putCountingBackend) Peak() int {
@@ -150,12 +159,12 @@ func TestWriteParallelismHonored(t *testing.T) {
 	write := func(workers int) (*putCountingBackend, *Dataset) {
 		t.Helper()
 		be := &putCountingBackend{MemBackend: NewMemBackend()}
-		ds, err := Create(be, meta)
+		ds, err := Create(context.Background(), be, meta)
 		if err != nil {
 			t.Fatal(err)
 		}
 		ds.SetWriteParallelism(workers)
-		if err := ds.WriteGrid("elevation", 0, g); err != nil {
+		if err := ds.WriteGrid(context.Background(), "elevation", 0, g); err != nil {
 			t.Fatal(err)
 		}
 		return be, ds
@@ -171,16 +180,16 @@ func TestWriteParallelismHonored(t *testing.T) {
 	}
 
 	// Same bytes in every object either way.
-	names, err := serialBE.List("")
+	names, err := serialBE.List(context.Background(), "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range names {
-		a, err := serialBE.Get(name)
+		a, err := serialBE.Get(context.Background(), name)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := parallelBE.Get(name)
+		b, err := parallelBE.Get(context.Background(), name)
 		if err != nil {
 			t.Fatalf("object %q missing from parallel write: %v", name, err)
 		}
@@ -191,7 +200,7 @@ func TestWriteParallelismHonored(t *testing.T) {
 
 	// And the data round-trips identically.
 	for _, ds := range []*Dataset{serialDS, parallelDS} {
-		out, _, err := ds.ReadFull("elevation", 0)
+		out, _, err := ds.ReadFull(context.Background(), "elevation", 0)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -6,9 +6,17 @@
 // ordering, a reader can progressively refine a region of interest by
 // fetching only the blocks that intersect the requested box and level —
 // the "storage-oblivious API" of the tutorial paper (§III-A).
+//
+// Every read and write entry point is context-first: the context bounds
+// all backend I/O the call performs, and the fetch and write worker
+// pools abort in-flight block plans the moment it is cancelled. This is
+// what keeps a slow or hung wide-area object store from pinning the
+// serving stack above.
 package idx
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -48,13 +56,13 @@ type BlockCache interface {
 }
 
 // Create initialises a new dataset in the backend by writing its
-// descriptor. Creating over an existing dataset first removes any blocks
-// left under BlockPrefix — otherwise a smaller or sparser re-creation
-// could silently serve the previous dataset's samples. Backends that
-// cannot delete (no Deleter implementation) refuse to create over
-// existing blocks instead.
-func Create(be Backend, meta Meta) (*Dataset, error) {
-	stale, err := be.List(BlockPrefix)
+// descriptor. ctx bounds the backend I/O. Creating over an existing
+// dataset first removes any blocks left under BlockPrefix — otherwise a
+// smaller or sparser re-creation could silently serve the previous
+// dataset's samples. Backends that cannot delete (no Deleter
+// implementation) refuse to create over existing blocks instead.
+func Create(ctx context.Context, be Backend, meta Meta) (*Dataset, error) {
+	stale, err := be.List(ctx, BlockPrefix)
 	if err != nil {
 		return nil, fmt.Errorf("idx: scan for stale blocks: %w", err)
 	}
@@ -64,7 +72,7 @@ func Create(be Backend, meta Meta) (*Dataset, error) {
 			return nil, fmt.Errorf("idx: backend holds %d stale blocks under %q and cannot delete them; use a fresh prefix or backend", len(stale), BlockPrefix)
 		}
 		for _, name := range stale {
-			if err := del.Delete(name); err != nil {
+			if err := del.Delete(ctx, name); err != nil {
 				return nil, fmt.Errorf("idx: delete stale block %q: %w", name, err)
 			}
 		}
@@ -73,15 +81,15 @@ func Create(be Backend, meta Meta) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := be.Put(MetaObjectName, text); err != nil {
+	if err := be.Put(ctx, MetaObjectName, text); err != nil {
 		return nil, fmt.Errorf("idx: write descriptor: %w", err)
 	}
 	return &Dataset{Meta: meta, be: be}, nil
 }
 
 // Open loads an existing dataset's descriptor from the backend.
-func Open(be Backend) (*Dataset, error) {
-	text, err := be.Get(MetaObjectName)
+func Open(ctx context.Context, be Backend) (*Dataset, error) {
+	text, err := be.Get(ctx, MetaObjectName)
 	if err != nil {
 		return nil, fmt.Errorf("idx: read descriptor: %w", err)
 	}
@@ -142,16 +150,32 @@ func (d *Dataset) writeWorkers(numBlocks int) int {
 	return workers
 }
 
+// canceled reports whether err carries a context cancellation or
+// deadline expiry, directly or wrapped.
+func canceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// readErr books a failed read: cancellations increment the
+// nsdf_idx_reads_cancelled_total series so operators can see clients
+// abandoning slow reads.
+func (d *Dataset) readErr(err error) error {
+	if canceled(err) {
+		d.recordCancelledRead()
+	}
+	return err
+}
+
 // fetchBlock gets one block from the backend, decodes it, and offers it
 // to the cache. It returns the decoded payload and the compressed size.
-func (d *Dataset) fetchBlock(field string, t, b int, codec compress.Codec, rawBlockLen int) ([]byte, int64, error) {
-	return d.fetchBlockKey(d.BlockKey(field, t, b), b, codec, rawBlockLen)
+func (d *Dataset) fetchBlock(ctx context.Context, field string, t, b int, codec compress.Codec, rawBlockLen int) ([]byte, int64, error) {
+	return d.fetchBlockKey(ctx, d.BlockKey(field, t, b), b, codec, rawBlockLen)
 }
 
 // fetchBlockKey is fetchBlock with the object name precomputed, so hot
 // paths holding a blockKeys table skip the formatting.
-func (d *Dataset) fetchBlockKey(key string, b int, codec compress.Codec, rawBlockLen int) ([]byte, int64, error) {
-	enc, err := d.be.Get(key)
+func (d *Dataset) fetchBlockKey(ctx context.Context, key string, b int, codec compress.Codec, rawBlockLen int) ([]byte, int64, error) {
+	enc, err := d.be.Get(ctx, key)
 	if err != nil {
 		return nil, 0, fmt.Errorf("idx: block %d: %w", b, err)
 	}
@@ -191,8 +215,10 @@ func (d *Dataset) checkFieldTime(field string, t int) (Field, error) {
 
 // WriteGrid stores a full-resolution 2D grid as timestep t of the named
 // field, producing every block of the HZ decomposition. The grid must
-// match the dataset's logical dimensions.
-func (d *Dataset) WriteGrid(field string, t int, g *raster.Grid) error {
+// match the dataset's logical dimensions. Cancelling ctx aborts the
+// write worker pool at its next block claim; already-stored blocks are
+// left behind (block writes are not transactional).
+func (d *Dataset) WriteGrid(ctx context.Context, field string, t int, g *raster.Grid) error {
 	f, err := d.checkFieldTime(field, t)
 	if err != nil {
 		return err
@@ -263,8 +289,9 @@ func (d *Dataset) WriteGrid(field string, t int, g *raster.Grid) error {
 	// shared mutable state beyond the (concurrency-safe) backend. The
 	// worker count honours SetWriteParallelism, matching the read path's
 	// SetFetchParallelism knob. The aborted flag fails the whole write
-	// fast once any worker hits an encode or store error, instead of
-	// letting the others finish every remaining block.
+	// fast once any worker hits an encode or store error — or once ctx
+	// is cancelled — instead of letting the others finish every
+	// remaining block.
 	workers := d.writeWorkers(numBlocks)
 	errCh := make(chan error, workers)
 	var aborted atomic.Bool
@@ -278,6 +305,11 @@ func (d *Dataset) WriteGrid(field string, t int, g *raster.Grid) error {
 			buf := make([]byte, blockSamples*sz)
 			for {
 				if aborted.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					aborted.Store(true)
+					errCh <- err
 					return
 				}
 				b := int(next.Add(1)) - 1
@@ -317,7 +349,7 @@ func (d *Dataset) WriteGrid(field string, t int, g *raster.Grid) error {
 						return
 					}
 				}
-				if err := d.be.Put(blockKey(b), enc); err != nil {
+				if err := d.be.Put(ctx, blockKey(b), enc); err != nil {
 					aborted.Store(true)
 					errCh <- fmt.Errorf("idx: store block %d: %w", b, err)
 					return
@@ -393,7 +425,11 @@ type ReadStats struct {
 // requested lattice are fetched, which is what makes remote streaming
 // practical: a coarse preview of a 100TB dataset needs a handful of
 // blocks.
-func (d *Dataset) ReadBox(field string, t int, box Box, level int) (*raster.Grid, *ReadStats, error) {
+//
+// ctx bounds every block fetch: when it is cancelled the fetch pool
+// stops claiming blocks, in-flight fetches are abandoned to the
+// backend's own ctx handling, and ReadBox returns the context error.
+func (d *Dataset) ReadBox(ctx context.Context, field string, t int, box Box, level int) (*raster.Grid, *ReadStats, error) {
 	start := time.Now()
 	f, err := d.checkFieldTime(field, t)
 	if err != nil {
@@ -479,53 +515,19 @@ func (d *Dataset) ReadBox(field string, t int, box Box, level int) (*raster.Grid
 	}
 	if workers <= 1 {
 		for _, sp := range miss {
-			raw, n, err := d.fetchBlockKey(blockKey(sp.block), sp.block, codec, rawBlockLen)
+			if err := ctx.Err(); err != nil {
+				return nil, nil, d.readErr(err)
+			}
+			raw, n, err := d.fetchBlockKey(ctx, blockKey(sp.block), sp.block, codec, rawBlockLen)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, d.readErr(err)
 			}
 			stats.BlocksRead++
 			stats.BytesRead += n
 			assemble(raw, sp)
 		}
-	} else {
-		type fetched struct {
-			sp  blockSpan
-			raw []byte
-			n   int64
-			err error
-		}
-		work := make(chan blockSpan)
-		results := make(chan fetched)
-		for wk := 0; wk < workers; wk++ {
-			go func() {
-				for sp := range work {
-					raw, n, err := d.fetchBlockKey(blockKey(sp.block), sp.block, codec, rawBlockLen)
-					results <- fetched{sp: sp, raw: raw, n: n, err: err}
-				}
-			}()
-		}
-		go func() {
-			for _, sp := range miss {
-				work <- sp
-			}
-			close(work)
-		}()
-		var firstErr error
-		for range miss {
-			r := <-results
-			if r.err != nil {
-				if firstErr == nil {
-					firstErr = r.err
-				}
-				continue
-			}
-			stats.BlocksRead++
-			stats.BytesRead += r.n
-			assemble(r.raw, r.sp)
-		}
-		if firstErr != nil {
-			return nil, nil, firstErr
-		}
+	} else if err := d.fetchSpans(ctx, miss, workers, blockKey, codec, rawBlockLen, stats, assemble); err != nil {
+		return nil, nil, d.readErr(err)
 	}
 
 	if d.Meta.Geo != nil {
@@ -543,25 +545,87 @@ func (d *Dataset) ReadBox(field string, t int, box Box, level int) (*raster.Grid
 	return out, stats, nil
 }
 
+// fetchSpans runs the parallel block-fetch pool for ReadBox. The feeder
+// stops handing out spans and the workers stop claiming them the moment
+// ctx is cancelled; the pool always drains fully before fetchSpans
+// returns, so a cancelled read leaks no goroutines.
+func (d *Dataset) fetchSpans(ctx context.Context, miss []blockSpan, workers int,
+	blockKey func(int) string, codec compress.Codec, rawBlockLen int,
+	stats *ReadStats, assemble func([]byte, blockSpan)) error {
+	type fetched struct {
+		sp  blockSpan
+		raw []byte
+		n   int64
+		err error
+	}
+	work := make(chan blockSpan)
+	results := make(chan fetched)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sp := range work {
+				raw, n, err := d.fetchBlockKey(ctx, blockKey(sp.block), sp.block, codec, rawBlockLen)
+				select {
+				case results <- fetched{sp: sp, raw: raw, n: n, err: err}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(work)
+		for _, sp := range miss {
+			select {
+			case work <- sp:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	var firstErr error
+	for r := range results {
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		stats.BlocksRead++
+		stats.BytesRead += r.n
+		assemble(r.raw, r.sp)
+	}
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
+	return firstErr
+}
+
 // ReadFull reads the complete dataset extent at full resolution.
-func (d *Dataset) ReadFull(field string, t int) (*raster.Grid, *ReadStats, error) {
-	return d.ReadBox(field, t, d.FullBox(), d.Meta.MaxLevel())
+func (d *Dataset) ReadFull(ctx context.Context, field string, t int) (*raster.Grid, *ReadStats, error) {
+	return d.ReadBox(ctx, field, t, d.FullBox(), d.Meta.MaxLevel())
 }
 
 // StoredBytes sums the sizes of all stored blocks of one field/timestep,
 // plus nothing else; the experiment harness compares this to TIFF sizes.
-func (d *Dataset) StoredBytes(field string, t int) (int64, error) {
+func (d *Dataset) StoredBytes(ctx context.Context, field string, t int) (int64, error) {
 	if _, err := d.checkFieldTime(field, t); err != nil {
 		return 0, err
 	}
 	prefix := fmt.Sprintf("fields/%s/t%04d/", field, t)
-	names, err := d.be.List(prefix)
+	names, err := d.be.List(ctx, prefix)
 	if err != nil {
 		return 0, err
 	}
 	var total int64
 	for _, name := range names {
-		data, err := d.be.Get(name)
+		data, err := d.be.Get(ctx, name)
 		if err != nil {
 			return 0, err
 		}

@@ -1,6 +1,7 @@
 package idx
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -21,7 +22,7 @@ func newTestDataset(t *testing.T, w, h int, fields []Field) (*Dataset, *MemBacke
 		t.Fatal(err)
 	}
 	be := NewMemBackend()
-	ds, err := Create(be, meta)
+	ds, err := Create(context.Background(), be, meta)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,10 +182,10 @@ func TestWriteReadFullResolution(t *testing.T) {
 	const w, h = 100, 60
 	ds, _ := newTestDataset(t, w, h, float32Fields())
 	g := rampGrid(w, h)
-	if err := ds.WriteGrid("elevation", 0, g); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, g); err != nil {
 		t.Fatal(err)
 	}
-	out, stats, err := ds.ReadFull("elevation", 0)
+	out, stats, err := ds.ReadFull(context.Background(), "elevation", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,10 +204,10 @@ func TestReadBoxSubregion(t *testing.T) {
 	const w, h = 64, 64
 	ds, _ := newTestDataset(t, w, h, float32Fields())
 	g := rampGrid(w, h)
-	if err := ds.WriteGrid("elevation", 0, g); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, g); err != nil {
 		t.Fatal(err)
 	}
-	out, _, err := ds.ReadBox("elevation", 0, Box{10, 20, 30, 25}, ds.Meta.MaxLevel())
+	out, _, err := ds.ReadBox(context.Background(), "elevation", 0, Box{10, 20, 30, 25}, ds.Meta.MaxLevel())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,12 +228,12 @@ func TestReadBoxCoarseLevels(t *testing.T) {
 	const w, h = 64, 64
 	ds, _ := newTestDataset(t, w, h, float32Fields())
 	g := rampGrid(w, h)
-	if err := ds.WriteGrid("elevation", 0, g); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, g); err != nil {
 		t.Fatal(err)
 	}
 	mask := ds.Meta.Bits
 	for level := 0; level <= ds.Meta.MaxLevel(); level++ {
-		out, _, err := ds.ReadBox("elevation", 0, ds.FullBox(), level)
+		out, _, err := ds.ReadBox(context.Background(), "elevation", 0, ds.FullBox(), level)
 		if err != nil {
 			t.Fatalf("level %d: %v", level, err)
 		}
@@ -264,19 +265,19 @@ func TestCoarseLevelsReadFewerBytes(t *testing.T) {
 	}
 	meta.BitsPerBlock = 12
 	be := NewMemBackend()
-	ds, err := Create(be, meta)
+	ds, err := Create(context.Background(), be, meta)
 	if err != nil {
 		t.Fatal(err)
 	}
 	g := dem.Scale(dem.FBM(w, h, 1, dem.DefaultFBM()), 0, 2000)
-	if err := ds.WriteGrid("elevation", 0, g); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, g); err != nil {
 		t.Fatal(err)
 	}
-	_, coarse, err := ds.ReadBox("elevation", 0, ds.FullBox(), 6)
+	_, coarse, err := ds.ReadBox(context.Background(), "elevation", 0, ds.FullBox(), 6)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, fine, err := ds.ReadBox("elevation", 0, ds.FullBox(), ds.Meta.MaxLevel())
+	_, fine, err := ds.ReadBox(context.Background(), "elevation", 0, ds.FullBox(), ds.Meta.MaxLevel())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,11 +294,11 @@ func TestReadBoxSmallBoxTouchesFewBlocks(t *testing.T) {
 	meta, _ := NewMeta([]int{w, h}, float32Fields())
 	meta.BitsPerBlock = 10
 	be := NewMemBackend()
-	ds, _ := Create(be, meta)
-	if err := ds.WriteGrid("elevation", 0, rampGrid(w, h)); err != nil {
+	ds, _ := Create(context.Background(), be, meta)
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, rampGrid(w, h)); err != nil {
 		t.Fatal(err)
 	}
-	_, small, err := ds.ReadBox("elevation", 0, Box{100, 100, 116, 116}, ds.Meta.MaxLevel())
+	_, small, err := ds.ReadBox(context.Background(), "elevation", 0, Box{100, 100, 116, 116}, ds.Meta.MaxLevel())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +315,7 @@ func TestMultipleFieldsAndTimesteps(t *testing.T) {
 	})
 	meta.Timesteps = 3
 	be := NewMemBackend()
-	ds, err := Create(be, meta)
+	ds, err := Create(context.Background(), be, meta)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,14 +325,14 @@ func TestMultipleFieldsAndTimesteps(t *testing.T) {
 			for i := range g.Data {
 				g.Data[i] += float32(1000*ts) + float32(len(f))
 			}
-			if err := ds.WriteGrid(f, ts, g); err != nil {
+			if err := ds.WriteGrid(context.Background(), f, ts, g); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
 	for _, f := range []string{"elevation", "slope"} {
 		for ts := 0; ts < 3; ts++ {
-			out, _, err := ds.ReadFull(f, ts)
+			out, _, err := ds.ReadFull(context.Background(), f, ts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -345,14 +346,14 @@ func TestMultipleFieldsAndTimesteps(t *testing.T) {
 
 func TestOpenExistingDataset(t *testing.T) {
 	ds, be := newTestDataset(t, 48, 32, float32Fields())
-	if err := ds.WriteGrid("elevation", 0, rampGrid(48, 32)); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, rampGrid(48, 32)); err != nil {
 		t.Fatal(err)
 	}
-	ds2, err := Open(be)
+	ds2, err := Open(context.Background(), be)
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, _, err := ds2.ReadFull("elevation", 0)
+	out, _, err := ds2.ReadFull(context.Background(), "elevation", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,42 +363,42 @@ func TestOpenExistingDataset(t *testing.T) {
 }
 
 func TestOpenMissingDescriptor(t *testing.T) {
-	if _, err := Open(NewMemBackend()); err == nil {
+	if _, err := Open(context.Background(), NewMemBackend()); err == nil {
 		t.Error("Open on empty backend succeeded")
 	}
 }
 
 func TestWriteGridValidation(t *testing.T) {
 	ds, _ := newTestDataset(t, 16, 16, float32Fields())
-	if err := ds.WriteGrid("nope", 0, rampGrid(16, 16)); err == nil {
+	if err := ds.WriteGrid(context.Background(), "nope", 0, rampGrid(16, 16)); err == nil {
 		t.Error("unknown field accepted")
 	}
-	if err := ds.WriteGrid("elevation", 9, rampGrid(16, 16)); err == nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 9, rampGrid(16, 16)); err == nil {
 		t.Error("bad timestep accepted")
 	}
-	if err := ds.WriteGrid("elevation", 0, rampGrid(8, 8)); err == nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, rampGrid(8, 8)); err == nil {
 		t.Error("mismatched grid accepted")
 	}
 }
 
 func TestReadBoxValidation(t *testing.T) {
 	ds, _ := newTestDataset(t, 16, 16, float32Fields())
-	if err := ds.WriteGrid("elevation", 0, rampGrid(16, 16)); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, rampGrid(16, 16)); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := ds.ReadBox("nope", 0, ds.FullBox(), 1); err == nil {
+	if _, _, err := ds.ReadBox(context.Background(), "nope", 0, ds.FullBox(), 1); err == nil {
 		t.Error("unknown field accepted")
 	}
-	if _, _, err := ds.ReadBox("elevation", 0, ds.FullBox(), -1); err == nil {
+	if _, _, err := ds.ReadBox(context.Background(), "elevation", 0, ds.FullBox(), -1); err == nil {
 		t.Error("negative level accepted")
 	}
-	if _, _, err := ds.ReadBox("elevation", 0, ds.FullBox(), 99); err == nil {
+	if _, _, err := ds.ReadBox(context.Background(), "elevation", 0, ds.FullBox(), 99); err == nil {
 		t.Error("excessive level accepted")
 	}
-	if _, _, err := ds.ReadBox("elevation", 0, Box{5, 5, 5, 9}, 8); err == nil {
+	if _, _, err := ds.ReadBox(context.Background(), "elevation", 0, Box{5, 5, 5, 9}, 8); err == nil {
 		t.Error("empty box accepted")
 	}
-	if _, _, err := ds.ReadBox("elevation", 0, Box{-10, -10, -5, -5}, 8); err == nil {
+	if _, _, err := ds.ReadBox(context.Background(), "elevation", 0, Box{-10, -10, -5, -5}, 8); err == nil {
 		t.Error("fully outside box accepted")
 	}
 }
@@ -405,10 +406,10 @@ func TestReadBoxValidation(t *testing.T) {
 func TestReadBoxClipsToDataset(t *testing.T) {
 	ds, _ := newTestDataset(t, 16, 16, float32Fields())
 	g := rampGrid(16, 16)
-	if err := ds.WriteGrid("elevation", 0, g); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, g); err != nil {
 		t.Fatal(err)
 	}
-	out, _, err := ds.ReadBox("elevation", 0, Box{-5, -5, 100, 100}, ds.Meta.MaxLevel())
+	out, _, err := ds.ReadBox(context.Background(), "elevation", 0, Box{-5, -5, 100, 100}, ds.Meta.MaxLevel())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -421,10 +422,10 @@ func TestNaNSurvivesRoundTrip(t *testing.T) {
 	ds, _ := newTestDataset(t, 8, 8, float32Fields())
 	g := rampGrid(8, 8)
 	g.Set(3, 3, float32(math.NaN()))
-	if err := ds.WriteGrid("elevation", 0, g); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, g); err != nil {
 		t.Fatal(err)
 	}
-	out, _, err := ds.ReadFull("elevation", 0)
+	out, _, err := ds.ReadFull(context.Background(), "elevation", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -437,11 +438,11 @@ func TestGeorefAdjustedForBoxAndLevel(t *testing.T) {
 	meta, _ := NewMeta([]int{64, 64}, float32Fields())
 	meta.Geo = &raster.Georef{OriginX: -90, OriginY: 36, PixelW: 0.01, PixelH: 0.01}
 	be := NewMemBackend()
-	ds, _ := Create(be, meta)
-	if err := ds.WriteGrid("elevation", 0, rampGrid(64, 64)); err != nil {
+	ds, _ := Create(context.Background(), be, meta)
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, rampGrid(64, 64)); err != nil {
 		t.Fatal(err)
 	}
-	out, _, err := ds.ReadBox("elevation", 0, Box{32, 16, 64, 64}, ds.Meta.MaxLevel()-2)
+	out, _, err := ds.ReadBox(context.Background(), "elevation", 0, Box{32, 16, 64, 64}, ds.Meta.MaxLevel()-2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -456,15 +457,15 @@ func TestGeorefAdjustedForBoxAndLevel(t *testing.T) {
 func TestUint8FieldRoundTrip(t *testing.T) {
 	meta, _ := NewMeta([]int{32, 32}, []Field{{Name: "hillshade", Type: Uint8, Codec: "zlib"}})
 	be := NewMemBackend()
-	ds, _ := Create(be, meta)
+	ds, _ := Create(context.Background(), be, meta)
 	g := raster.New(32, 32)
 	for i := range g.Data {
 		g.Data[i] = float32(i % 256)
 	}
-	if err := ds.WriteGrid("hillshade", 0, g); err != nil {
+	if err := ds.WriteGrid(context.Background(), "hillshade", 0, g); err != nil {
 		t.Fatal(err)
 	}
-	out, _, err := ds.ReadFull("hillshade", 0)
+	out, _, err := ds.ReadFull(context.Background(), "hillshade", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -486,15 +487,15 @@ func TestRoundTripProperty(t *testing.T) {
 			meta.BitsPerBlock = meta.Bits.Bits()
 		}
 		be := NewMemBackend()
-		ds, err := Create(be, meta)
+		ds, err := Create(context.Background(), be, meta)
 		if err != nil {
 			return false
 		}
 		g := dem.Scale(dem.FBM(w, h, uint64(seed), dem.DefaultFBM()), -100, 3000)
-		if err := ds.WriteGrid("elevation", 0, g); err != nil {
+		if err := ds.WriteGrid(context.Background(), "elevation", 0, g); err != nil {
 			return false
 		}
-		out, _, err := ds.ReadFull("elevation", 0)
+		out, _, err := ds.ReadFull(context.Background(), "elevation", 0)
 		if err != nil {
 			return false
 		}
@@ -507,17 +508,17 @@ func TestRoundTripProperty(t *testing.T) {
 
 func TestStoredBytes(t *testing.T) {
 	ds, be := newTestDataset(t, 64, 64, float32Fields())
-	if err := ds.WriteGrid("elevation", 0, rampGrid(64, 64)); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, rampGrid(64, 64)); err != nil {
 		t.Fatal(err)
 	}
-	n, err := ds.StoredBytes("elevation", 0)
+	n, err := ds.StoredBytes(context.Background(), "elevation", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n <= 0 {
 		t.Errorf("StoredBytes = %d", n)
 	}
-	meta, _ := be.Get(MetaObjectName)
+	meta, _ := be.Get(context.Background(), MetaObjectName)
 	if be.TotalBytes() != n+int64(len(meta)) {
 		t.Errorf("backend holds %d bytes, blocks %d + meta %d", be.TotalBytes(), n, len(meta))
 	}
@@ -542,17 +543,17 @@ func (c *countingCache) Put(key string, data []byte) { c.m[key] = data }
 
 func TestBlockCacheUsed(t *testing.T) {
 	ds, _ := newTestDataset(t, 64, 64, float32Fields())
-	if err := ds.WriteGrid("elevation", 0, rampGrid(64, 64)); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, rampGrid(64, 64)); err != nil {
 		t.Fatal(err)
 	}
 	c := &countingCache{m: map[string][]byte{}}
 	ds.SetCache(c)
-	if _, stats, err := ds.ReadFull("elevation", 0); err != nil {
+	if _, stats, err := ds.ReadFull(context.Background(), "elevation", 0); err != nil {
 		t.Fatal(err)
 	} else if stats.BlocksCached != 0 {
 		t.Errorf("cold read reported %d cached blocks", stats.BlocksCached)
 	}
-	_, stats, err := ds.ReadFull("elevation", 0)
+	_, stats, err := ds.ReadFull(context.Background(), "elevation", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -570,21 +571,21 @@ func TestDirBackend(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := be.Put("a/b/c.bin", []byte("hello")); err != nil {
+	if err := be.Put(context.Background(), "a/b/c.bin", []byte("hello")); err != nil {
 		t.Fatal(err)
 	}
-	data, err := be.Get("a/b/c.bin")
+	data, err := be.Get(context.Background(), "a/b/c.bin")
 	if err != nil || string(data) != "hello" {
 		t.Fatalf("Get: %q, %v", data, err)
 	}
-	if _, err := be.Get("missing"); !IsNotExist(err) {
+	if _, err := be.Get(context.Background(), "missing"); !IsNotExist(err) {
 		t.Errorf("missing object error = %v", err)
 	}
-	names, err := be.List("a/")
+	names, err := be.List(context.Background(), "a/")
 	if err != nil || len(names) != 1 || names[0] != "a/b/c.bin" {
 		t.Errorf("List = %v, %v", names, err)
 	}
-	if _, err := be.Get("../escape"); err == nil {
+	if _, err := be.Get(context.Background(), "../escape"); err == nil {
 		t.Error("path escape accepted")
 	}
 }
@@ -595,19 +596,19 @@ func TestDirBackendDataset(t *testing.T) {
 		t.Fatal(err)
 	}
 	meta, _ := NewMeta([]int{40, 24}, float32Fields())
-	ds, err := Create(be, meta)
+	ds, err := Create(context.Background(), be, meta)
 	if err != nil {
 		t.Fatal(err)
 	}
 	g := rampGrid(40, 24)
-	if err := ds.WriteGrid("elevation", 0, g); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, g); err != nil {
 		t.Fatal(err)
 	}
-	ds2, err := Open(be)
+	ds2, err := Open(context.Background(), be)
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, _, err := ds2.ReadFull("elevation", 0)
+	out, _, err := ds2.ReadFull(context.Background(), "elevation", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -619,14 +620,14 @@ func TestDirBackendDataset(t *testing.T) {
 func TestMemBackendIsolation(t *testing.T) {
 	be := NewMemBackend()
 	data := []byte{1, 2, 3}
-	be.Put("k", data)
+	be.Put(context.Background(), "k", data)
 	data[0] = 99
-	got, _ := be.Get("k")
+	got, _ := be.Get(context.Background(), "k")
 	if got[0] != 1 {
 		t.Error("Put did not copy")
 	}
 	got[1] = 99
-	got2, _ := be.Get("k")
+	got2, _ := be.Get(context.Background(), "k")
 	if got2[1] != 2 {
 		t.Error("Get did not copy")
 	}
@@ -649,8 +650,8 @@ func BenchmarkWriteGrid256(b *testing.B) {
 	b.SetBytes(int64(4 * 256 * 256))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		ds, _ := Create(NewMemBackend(), meta)
-		if err := ds.WriteGrid("elevation", 0, g); err != nil {
+		ds, _ := Create(context.Background(), NewMemBackend(), meta)
+		if err := ds.WriteGrid(context.Background(), "elevation", 0, g); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -659,16 +660,16 @@ func BenchmarkWriteGrid256(b *testing.B) {
 func BenchmarkReadFull256(b *testing.B) {
 	meta, _ := NewMeta([]int{256, 256}, float32Fields())
 	meta.BitsPerBlock = 14
-	ds, _ := Create(NewMemBackend(), meta)
+	ds, _ := Create(context.Background(), NewMemBackend(), meta)
 	g := dem.Scale(dem.FBM(256, 256, 1, dem.DefaultFBM()), 0, 2000)
-	if err := ds.WriteGrid("elevation", 0, g); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, g); err != nil {
 		b.Fatal(err)
 	}
 	b.SetBytes(int64(4 * 256 * 256))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := ds.ReadFull("elevation", 0); err != nil {
+		if _, _, err := ds.ReadFull(context.Background(), "elevation", 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -677,15 +678,15 @@ func BenchmarkReadFull256(b *testing.B) {
 func BenchmarkReadCoarseLevel(b *testing.B) {
 	meta, _ := NewMeta([]int{512, 512}, float32Fields())
 	meta.BitsPerBlock = 12
-	ds, _ := Create(NewMemBackend(), meta)
+	ds, _ := Create(context.Background(), NewMemBackend(), meta)
 	g := dem.Scale(dem.FBM(512, 512, 1, dem.DefaultFBM()), 0, 2000)
-	if err := ds.WriteGrid("elevation", 0, g); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, g); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := ds.ReadBox("elevation", 0, ds.FullBox(), 8); err != nil {
+		if _, _, err := ds.ReadBox(context.Background(), "elevation", 0, ds.FullBox(), 8); err != nil {
 			b.Fatal(err)
 		}
 	}

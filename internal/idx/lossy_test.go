@@ -1,6 +1,7 @@
 package idx
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -15,15 +16,15 @@ func TestLossyFieldRoundTripWithinTolerance(t *testing.T) {
 	}
 	meta.BitsPerBlock = 10
 	be := NewMemBackend()
-	ds, err := Create(be, meta)
+	ds, err := Create(context.Background(), be, meta)
 	if err != nil {
 		t.Fatal(err)
 	}
 	g := dem.Scale(dem.FBM(128, 128, 3, dem.DefaultFBM()), 0, 2000)
-	if err := ds.WriteGrid("elevation", 0, g); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, g); err != nil {
 		t.Fatal(err)
 	}
-	out, _, err := ds.ReadFull("elevation", 0)
+	out, _, err := ds.ReadFull(context.Background(), "elevation", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,14 +49,14 @@ func TestLossyFieldSmallerThanLossless(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ds, err := Create(NewMemBackend(), meta)
+		ds, err := Create(context.Background(), NewMemBackend(), meta)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := ds.WriteGrid("f", 0, g); err != nil {
+		if err := ds.WriteGrid(context.Background(), "f", 0, g); err != nil {
 			t.Fatal(err)
 		}
-		n, err := ds.StoredBytes("f", 0)
+		n, err := ds.StoredBytes(context.Background(), "f", 0)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package idx
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -18,7 +19,7 @@ type slowCountingBackend struct {
 	peak    int
 }
 
-func (s *slowCountingBackend) Get(name string) ([]byte, error) {
+func (s *slowCountingBackend) Get(ctx context.Context, name string) ([]byte, error) {
 	s.mu.Lock()
 	s.current++
 	if s.current > s.peak {
@@ -33,7 +34,7 @@ func (s *slowCountingBackend) Get(name string) ([]byte, error) {
 		s.current--
 		s.mu.Unlock()
 	}()
-	return s.MemBackend.Get(name)
+	return s.MemBackend.Get(ctx, name)
 }
 
 func (s *slowCountingBackend) Peak() int {
@@ -50,12 +51,12 @@ func newParallelDataset(t *testing.T) (*Dataset, *slowCountingBackend, *raster.G
 	}
 	meta.BitsPerBlock = 8 // 64 blocks: plenty of fetch parallelism available
 	be := &slowCountingBackend{MemBackend: NewMemBackend()}
-	ds, err := Create(be, meta)
+	ds, err := Create(context.Background(), be, meta)
 	if err != nil {
 		t.Fatal(err)
 	}
 	g := rampGrid(128, 128)
-	if err := ds.WriteGrid("elevation", 0, g); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, g); err != nil {
 		t.Fatal(err)
 	}
 	return ds, be, g
@@ -63,12 +64,12 @@ func newParallelDataset(t *testing.T) (*Dataset, *slowCountingBackend, *raster.G
 
 func TestParallelFetchMatchesSerial(t *testing.T) {
 	ds, _, g := newParallelDataset(t)
-	serial, _, err := ds.ReadFull("elevation", 0)
+	serial, _, err := ds.ReadFull(context.Background(), "elevation", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ds.SetFetchParallelism(8)
-	parallel, stats, err := ds.ReadFull("elevation", 0)
+	parallel, stats, err := ds.ReadFull(context.Background(), "elevation", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestParallelFetchMatchesSerial(t *testing.T) {
 func TestParallelFetchActuallyConcurrent(t *testing.T) {
 	ds, be, _ := newParallelDataset(t)
 	ds.SetFetchParallelism(8)
-	if _, _, err := ds.ReadFull("elevation", 0); err != nil {
+	if _, _, err := ds.ReadFull(context.Background(), "elevation", 0); err != nil {
 		t.Fatal(err)
 	}
 	// With 8 workers over 64+ blocks, at least 2 Gets must have
@@ -99,7 +100,7 @@ func TestParallelFetchActuallyConcurrent(t *testing.T) {
 func TestParallelismClampedAndIdempotent(t *testing.T) {
 	ds, _, g := newParallelDataset(t)
 	ds.SetFetchParallelism(-3) // clamps to 1
-	out, _, err := ds.ReadFull("elevation", 0)
+	out, _, err := ds.ReadFull(context.Background(), "elevation", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestParallelismClampedAndIdempotent(t *testing.T) {
 		t.Error("clamped parallelism broke reads")
 	}
 	ds.SetFetchParallelism(1000) // more workers than blocks
-	out, _, err = ds.ReadFull("elevation", 0)
+	out, _, err = ds.ReadFull(context.Background(), "elevation", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,28 +123,28 @@ type failingBackend struct {
 	failKey string
 }
 
-func (f *failingBackend) Get(name string) ([]byte, error) {
+func (f *failingBackend) Get(ctx context.Context, name string) ([]byte, error) {
 	if name == f.failKey {
 		return nil, fmt.Errorf("injected backend failure for %s", name)
 	}
-	return f.MemBackend.Get(name)
+	return f.MemBackend.Get(ctx, name)
 }
 
 func TestParallelFetchSurfacesErrors(t *testing.T) {
 	meta, _ := NewMeta([]int{64, 64}, []Field{{Name: "elevation", Type: Float32}})
 	meta.BitsPerBlock = 8
 	inner := NewMemBackend()
-	ds, err := Create(inner, meta)
+	ds, err := Create(context.Background(), inner, meta)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ds.WriteGrid("elevation", 0, rampGrid(64, 64)); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, rampGrid(64, 64)); err != nil {
 		t.Fatal(err)
 	}
 	fail := &failingBackend{MemBackend: inner, failKey: ds.BlockKey("elevation", 0, 3)}
 	ds2 := &Dataset{Meta: ds.Meta, be: fail}
 	ds2.SetFetchParallelism(4)
-	if _, _, err := ds2.ReadFull("elevation", 0); err == nil {
+	if _, _, err := ds2.ReadFull(context.Background(), "elevation", 0); err == nil {
 		t.Error("injected failure not surfaced by parallel fetch")
 	}
 }
@@ -152,16 +153,16 @@ func TestSerialFetchSurfacesErrors(t *testing.T) {
 	meta, _ := NewMeta([]int{64, 64}, []Field{{Name: "elevation", Type: Float32}})
 	meta.BitsPerBlock = 8
 	inner := NewMemBackend()
-	ds, err := Create(inner, meta)
+	ds, err := Create(context.Background(), inner, meta)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ds.WriteGrid("elevation", 0, rampGrid(64, 64)); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, rampGrid(64, 64)); err != nil {
 		t.Fatal(err)
 	}
 	fail := &failingBackend{MemBackend: inner, failKey: ds.BlockKey("elevation", 0, 0)}
 	ds2 := &Dataset{Meta: ds.Meta, be: fail}
-	if _, _, err := ds2.ReadFull("elevation", 0); err == nil {
+	if _, _, err := ds2.ReadFull(context.Background(), "elevation", 0); err == nil {
 		t.Error("injected failure not surfaced by serial fetch")
 	}
 }

@@ -1,6 +1,7 @@
 package idx
 
 import (
+	"context"
 	"fmt"
 
 	"nsdfgo/internal/compress"
@@ -20,7 +21,7 @@ import (
 // their regions touch disjoint block sets (block read-modify-write is not
 // transactional); tile writers should partition work accordingly or
 // serialise.
-func (d *Dataset) WriteRegion(field string, t int, x0, y0 int, g *raster.Grid) error {
+func (d *Dataset) WriteRegion(ctx context.Context, field string, t int, x0, y0 int, g *raster.Grid) error {
 	f, err := d.checkFieldTime(field, t)
 	if err != nil {
 		return err
@@ -53,7 +54,12 @@ func (d *Dataset) WriteRegion(field string, t int, x0, y0 int, g *raster.Grid) e
 	keys := d.blockKeys(field, t)
 
 	// Read-modify-write each touched block, in ascending block order.
+	// Checking ctx once per span keeps a cancelled tile writer from
+	// walking the rest of its plan.
 	for _, sp := range spans {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		b := sp.block
 		key := ""
 		if keys != nil {
@@ -62,7 +68,7 @@ func (d *Dataset) WriteRegion(field string, t int, x0, y0 int, g *raster.Grid) e
 			key = d.BlockKey(field, t, b)
 		}
 		var raw []byte
-		enc, err := d.be.Get(key)
+		enc, err := d.be.Get(ctx, key)
 		switch {
 		case err == nil:
 			raw, err = codec.Decode(enc, rawBlockLen)
@@ -89,7 +95,7 @@ func (d *Dataset) WriteRegion(field string, t int, x0, y0 int, g *raster.Grid) e
 		if err != nil {
 			return fmt.Errorf("idx: encode block %d: %w", b, err)
 		}
-		if err := d.be.Put(key, encOut); err != nil {
+		if err := d.be.Put(ctx, key, encOut); err != nil {
 			return fmt.Errorf("idx: store block %d: %w", b, err)
 		}
 		if d.cache != nil {

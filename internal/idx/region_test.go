@@ -1,6 +1,7 @@
 package idx
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -14,7 +15,7 @@ func TestWriteRegionTilesEqualWholeGrid(t *testing.T) {
 	g := rampGrid(w, h)
 
 	whole, _ := newTestDataset(t, w, h, float32Fields())
-	if err := whole.WriteGrid("elevation", 0, g); err != nil {
+	if err := whole.WriteGrid(context.Background(), "elevation", 0, g); err != nil {
 		t.Fatal(err)
 	}
 	tiled, _ := newTestDataset(t, w, h, float32Fields())
@@ -32,16 +33,16 @@ func TestWriteRegionTilesEqualWholeGrid(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := tiled.WriteRegion("elevation", 0, x0, y0, sub); err != nil {
+			if err := tiled.WriteRegion(context.Background(), "elevation", 0, x0, y0, sub); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
-	a, _, err := whole.ReadFull("elevation", 0)
+	a, _, err := whole.ReadFull(context.Background(), "elevation", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := tiled.ReadFull("elevation", 0)
+	b, _, err := tiled.ReadFull(context.Background(), "elevation", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,17 +53,17 @@ func TestWriteRegionTilesEqualWholeGrid(t *testing.T) {
 
 func TestWriteRegionPartialUpdate(t *testing.T) {
 	ds, _ := newTestDataset(t, 32, 32, float32Fields())
-	if err := ds.WriteGrid("elevation", 0, rampGrid(32, 32)); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, rampGrid(32, 32)); err != nil {
 		t.Fatal(err)
 	}
 	patch := raster.New(8, 4)
 	for i := range patch.Data {
 		patch.Data[i] = -999
 	}
-	if err := ds.WriteRegion("elevation", 0, 10, 20, patch); err != nil {
+	if err := ds.WriteRegion(context.Background(), "elevation", 0, 10, 20, patch); err != nil {
 		t.Fatal(err)
 	}
-	out, _, err := ds.ReadFull("elevation", 0)
+	out, _, err := ds.ReadFull(context.Background(), "elevation", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestWriteRegionIntoEmptyDatasetUsesFill(t *testing.T) {
 		t.Fatal(err)
 	}
 	meta.BitsPerBlock = 4
-	ds, err := Create(NewMemBackend(), meta)
+	ds, err := Create(context.Background(), NewMemBackend(), meta)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,12 +95,12 @@ func TestWriteRegionIntoEmptyDatasetUsesFill(t *testing.T) {
 	for i := range patch.Data {
 		patch.Data[i] = 7
 	}
-	if err := ds.WriteRegion("f", 0, 0, 0, patch); err != nil {
+	if err := ds.WriteRegion(context.Background(), "f", 0, 0, 0, patch); err != nil {
 		t.Fatal(err)
 	}
 	// Reading the written corner works; untouched blocks are absent, so a
 	// full read fails cleanly (sparse dataset).
-	got, _, err := ds.ReadBox("f", 0, Box{X1: 4, Y1: 4}, meta.MaxLevel())
+	got, _, err := ds.ReadBox(context.Background(), "f", 0, Box{X1: 4, Y1: 4}, meta.MaxLevel())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestWriteRegionIntoEmptyDatasetUsesFill(t *testing.T) {
 		t.Errorf("written sample %v", got.At(2, 2))
 	}
 	// Samples inside written blocks but outside the patch carry the fill.
-	wider, _, err := ds.ReadBox("f", 0, Box{X1: 8, Y1: 2}, meta.MaxLevel())
+	wider, _, err := ds.ReadBox(context.Background(), "f", 0, Box{X1: 8, Y1: 2}, meta.MaxLevel())
 	if err == nil {
 		// Depending on block geometry this read may touch only written
 		// blocks; then fill must appear outside the patch.
@@ -126,36 +127,36 @@ func TestWriteRegionIntoEmptyDatasetUsesFill(t *testing.T) {
 func TestWriteRegionValidation(t *testing.T) {
 	ds, _ := newTestDataset(t, 16, 16, float32Fields())
 	patch := raster.New(4, 4)
-	if err := ds.WriteRegion("nope", 0, 0, 0, patch); err == nil {
+	if err := ds.WriteRegion(context.Background(), "nope", 0, 0, 0, patch); err == nil {
 		t.Error("unknown field accepted")
 	}
-	if err := ds.WriteRegion("elevation", 0, 14, 0, patch); err == nil {
+	if err := ds.WriteRegion(context.Background(), "elevation", 0, 14, 0, patch); err == nil {
 		t.Error("overflow region accepted")
 	}
-	if err := ds.WriteRegion("elevation", 0, -1, 0, patch); err == nil {
+	if err := ds.WriteRegion(context.Background(), "elevation", 0, -1, 0, patch); err == nil {
 		t.Error("negative anchor accepted")
 	}
-	if err := ds.WriteRegion("elevation", 0, 0, 0, raster.New(0, 0)); err == nil {
+	if err := ds.WriteRegion(context.Background(), "elevation", 0, 0, 0, raster.New(0, 0)); err == nil {
 		t.Error("empty region accepted")
 	}
 }
 
 func TestWriteRegionRefreshesCache(t *testing.T) {
 	ds, _ := newTestDataset(t, 32, 32, float32Fields())
-	if err := ds.WriteGrid("elevation", 0, rampGrid(32, 32)); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, rampGrid(32, 32)); err != nil {
 		t.Fatal(err)
 	}
 	c := &countingCache{m: map[string][]byte{}}
 	ds.SetCache(c)
-	if _, _, err := ds.ReadFull("elevation", 0); err != nil { // warm
+	if _, _, err := ds.ReadFull(context.Background(), "elevation", 0); err != nil { // warm
 		t.Fatal(err)
 	}
 	patch := raster.New(2, 2)
 	patch.Data = []float32{1, 2, 3, 4}
-	if err := ds.WriteRegion("elevation", 0, 0, 0, patch); err != nil {
+	if err := ds.WriteRegion(context.Background(), "elevation", 0, 0, 0, patch); err != nil {
 		t.Fatal(err)
 	}
-	out, _, err := ds.ReadFull("elevation", 0)
+	out, _, err := ds.ReadFull(context.Background(), "elevation", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,8 +168,8 @@ func TestWriteRegionRefreshesCache(t *testing.T) {
 func BenchmarkWriteRegionTile(b *testing.B) {
 	meta, _ := NewMeta([]int{512, 512}, []Field{{Name: "f", Type: Float32}})
 	meta.BitsPerBlock = 12
-	ds, _ := Create(NewMemBackend(), meta)
-	if err := ds.WriteGrid("f", 0, rampGrid(512, 512)); err != nil {
+	ds, _ := Create(context.Background(), NewMemBackend(), meta)
+	if err := ds.WriteGrid(context.Background(), "f", 0, rampGrid(512, 512)); err != nil {
 		b.Fatal(err)
 	}
 	patch := rampGrid(64, 64)
@@ -176,7 +177,7 @@ func BenchmarkWriteRegionTile(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := ds.WriteRegion("f", 0, (i%7)*64, (i%7)*64, patch); err != nil {
+		if err := ds.WriteRegion(context.Background(), "f", 0, (i%7)*64, (i%7)*64, patch); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -7,14 +7,15 @@ import (
 // dsMetrics holds the dataset's resolved telemetry series. All fields
 // are safe for concurrent use; hot paths nil-check the struct once.
 type dsMetrics struct {
-	blocksRead    *telemetry.Counter
-	blocksCached  *telemetry.Counter
-	blocksWritten *telemetry.Counter
-	bytesRead     *telemetry.Counter
-	bytesWritten  *telemetry.Counter
-	readRuns      *telemetry.Counter
-	readSeconds   *telemetry.Histogram
-	writeSeconds  *telemetry.Histogram
+	blocksRead     *telemetry.Counter
+	blocksCached   *telemetry.Counter
+	blocksWritten  *telemetry.Counter
+	bytesRead      *telemetry.Counter
+	bytesWritten   *telemetry.Counter
+	readRuns       *telemetry.Counter
+	readsCancelled *telemetry.Counter
+	readSeconds    *telemetry.Histogram
+	writeSeconds   *telemetry.Histogram
 }
 
 // SetTelemetry attaches a metrics registry to the dataset, labelling its
@@ -26,6 +27,7 @@ type dsMetrics struct {
 //	nsdf_idx_bytes_read_total{dataset}      compressed bytes fetched
 //	nsdf_idx_bytes_written_total{dataset}   compressed bytes stored
 //	nsdf_idx_read_runs_total{dataset}       planned HZ address runs (see ReadStats.Runs)
+//	nsdf_idx_reads_cancelled_total{dataset} reads aborted by context cancellation/deadline
 //	nsdf_idx_read_seconds{dataset}          ReadBox/ReadBox3D latency
 //	nsdf_idx_write_seconds{dataset}         WriteGrid/WriteVolume latency
 func (d *Dataset) SetTelemetry(reg *telemetry.Registry, dataset string) {
@@ -34,14 +36,15 @@ func (d *Dataset) SetTelemetry(reg *telemetry.Registry, dataset string) {
 		return
 	}
 	d.tel = &dsMetrics{
-		blocksRead:    reg.Counter("nsdf_idx_blocks_read_total", "dataset", dataset),
-		blocksCached:  reg.Counter("nsdf_idx_blocks_cached_total", "dataset", dataset),
-		blocksWritten: reg.Counter("nsdf_idx_blocks_written_total", "dataset", dataset),
-		bytesRead:     reg.Counter("nsdf_idx_bytes_read_total", "dataset", dataset),
-		bytesWritten:  reg.Counter("nsdf_idx_bytes_written_total", "dataset", dataset),
-		readRuns:      reg.Counter("nsdf_idx_read_runs_total", "dataset", dataset),
-		readSeconds:   reg.Histogram("nsdf_idx_read_seconds", "dataset", dataset),
-		writeSeconds:  reg.Histogram("nsdf_idx_write_seconds", "dataset", dataset),
+		blocksRead:     reg.Counter("nsdf_idx_blocks_read_total", "dataset", dataset),
+		blocksCached:   reg.Counter("nsdf_idx_blocks_cached_total", "dataset", dataset),
+		blocksWritten:  reg.Counter("nsdf_idx_blocks_written_total", "dataset", dataset),
+		bytesRead:      reg.Counter("nsdf_idx_bytes_read_total", "dataset", dataset),
+		bytesWritten:   reg.Counter("nsdf_idx_bytes_written_total", "dataset", dataset),
+		readRuns:       reg.Counter("nsdf_idx_read_runs_total", "dataset", dataset),
+		readsCancelled: reg.Counter("nsdf_idx_reads_cancelled_total", "dataset", dataset),
+		readSeconds:    reg.Histogram("nsdf_idx_read_seconds", "dataset", dataset),
+		writeSeconds:   reg.Histogram("nsdf_idx_write_seconds", "dataset", dataset),
 	}
 }
 
@@ -55,6 +58,17 @@ func (d *Dataset) recordRead(stats *ReadStats) {
 	t.blocksCached.Add(int64(stats.BlocksCached))
 	t.bytesRead.Add(stats.BytesRead)
 	t.readRuns.Add(int64(stats.Runs))
+}
+
+// recordCancelledRead books one read aborted by context cancellation or
+// deadline expiry; dashboards watch this to see clients abandoning slow
+// wide-area reads.
+func (d *Dataset) recordCancelledRead() {
+	t := d.tel
+	if t == nil {
+		return
+	}
+	t.readsCancelled.Inc()
 }
 
 // recordBlockWrite books one stored block.

@@ -1,6 +1,7 @@
 package idx
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -52,7 +53,8 @@ func (d *Dataset) Clip3(b Box3) Box3 {
 
 // WriteVolume stores a full-resolution 3D volume as timestep t of the
 // named field. data must hold Dims[0]*Dims[1]*Dims[2] samples, x fastest.
-func (d *Dataset) WriteVolume(field string, t int, data []float32) error {
+// Cancelling ctx aborts the worker pool at its next block claim.
+func (d *Dataset) WriteVolume(ctx context.Context, field string, t int, data []float32) error {
 	f, err := d.checkFieldTime(field, t)
 	if err != nil {
 		return err
@@ -98,6 +100,11 @@ func (d *Dataset) WriteVolume(field string, t int, data []float32) error {
 				if aborted.Load() {
 					return
 				}
+				if err := ctx.Err(); err != nil {
+					aborted.Store(true)
+					errCh <- err
+					return
+				}
 				b := int(next.Add(1)) - 1
 				if b >= numBlocks {
 					return
@@ -120,7 +127,7 @@ func (d *Dataset) WriteVolume(field string, t int, data []float32) error {
 					errCh <- fmt.Errorf("idx: encode block %d: %w", b, err)
 					return
 				}
-				if err := d.be.Put(d.BlockKey(field, t, b), enc); err != nil {
+				if err := d.be.Put(ctx, d.BlockKey(field, t, b), enc); err != nil {
 					aborted.Store(true)
 					errCh <- fmt.Errorf("idx: store block %d: %w", b, err)
 					return
@@ -157,8 +164,9 @@ func (v *Volume3) At(x, y, z int) float32 {
 }
 
 // ReadBox3D extracts the level-L lattice samples within box from a 3D
-// dataset, using the same cached, parallel block fetching as the 2D path.
-func (d *Dataset) ReadBox3D(field string, t int, box Box3, level int) (*Volume3, *ReadStats, error) {
+// dataset, using the same cached block fetching as the 2D path. ctx
+// bounds every block fetch; cancellation returns the context error.
+func (d *Dataset) ReadBox3D(ctx context.Context, field string, t int, box Box3, level int) (*Volume3, *ReadStats, error) {
 	start := time.Now()
 	f, err := d.checkFieldTime(field, t)
 	if err != nil {
@@ -245,9 +253,12 @@ func (d *Dataset) ReadBox3D(field string, t int, box Box3, level int) (*Volume3,
 	}
 	sort.Ints(misses)
 	for _, b := range misses {
-		raw, n, err := d.fetchBlock(field, t, b, codec, rawBlockLen)
+		if err := ctx.Err(); err != nil {
+			return nil, nil, d.readErr(err)
+		}
+		raw, n, err := d.fetchBlock(ctx, field, t, b, codec, rawBlockLen)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, d.readErr(err)
 		}
 		stats.BlocksRead++
 		stats.BytesRead += n
@@ -269,7 +280,7 @@ func (d *Dataset) ReadBox3D(field string, t int, box Box3, level int) (*Volume3,
 
 // ReadSliceZ extracts one full-resolution XY slice at depth z — the 3D
 // analogue of the dashboard's slicing tools.
-func (d *Dataset) ReadSliceZ(field string, t, z int) (*Volume3, *ReadStats, error) {
+func (d *Dataset) ReadSliceZ(ctx context.Context, field string, t, z int) (*Volume3, *ReadStats, error) {
 	if len(d.Meta.Dims) != 3 {
 		return nil, nil, fmt.Errorf("idx: ReadSliceZ requires a 3D dataset")
 	}
@@ -278,5 +289,5 @@ func (d *Dataset) ReadSliceZ(field string, t, z int) (*Volume3, *ReadStats, erro
 	}
 	box := d.FullBox3()
 	box.Z0, box.Z1 = z, z+1
-	return d.ReadBox3D(field, t, box, d.Meta.MaxLevel())
+	return d.ReadBox3D(ctx, field, t, box, d.Meta.MaxLevel())
 }

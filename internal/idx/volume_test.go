@@ -1,6 +1,7 @@
 package idx
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -29,7 +30,7 @@ func newVolumeDataset(t *testing.T, w, h, d, bitsPerBlock int) *Dataset {
 	if bitsPerBlock > 0 && bitsPerBlock <= meta.Bits.Bits() {
 		meta.BitsPerBlock = bitsPerBlock
 	}
-	ds, err := Create(NewMemBackend(), meta)
+	ds, err := Create(context.Background(), NewMemBackend(), meta)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,10 +41,10 @@ func TestVolumeWriteReadFull(t *testing.T) {
 	const w, h, d = 32, 16, 8
 	ds := newVolumeDataset(t, w, h, d, 8)
 	data := volField(w, h, d)
-	if err := ds.WriteVolume("density", 0, data); err != nil {
+	if err := ds.WriteVolume(context.Background(), "density", 0, data); err != nil {
 		t.Fatal(err)
 	}
-	vol, stats, err := ds.ReadBox3D("density", 0, ds.FullBox3(), ds.Meta.MaxLevel())
+	vol, stats, err := ds.ReadBox3D(context.Background(), "density", 0, ds.FullBox3(), ds.Meta.MaxLevel())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,11 +64,11 @@ func TestVolumeWriteReadFull(t *testing.T) {
 func TestVolumeSubBox(t *testing.T) {
 	const w, h, d = 32, 16, 8
 	ds := newVolumeDataset(t, w, h, d, 8)
-	if err := ds.WriteVolume("density", 0, volField(w, h, d)); err != nil {
+	if err := ds.WriteVolume(context.Background(), "density", 0, volField(w, h, d)); err != nil {
 		t.Fatal(err)
 	}
 	box := Box3{X0: 4, Y0: 2, Z0: 1, X1: 12, Y1: 10, Z1: 5}
-	vol, _, err := ds.ReadBox3D("density", 0, box, ds.Meta.MaxLevel())
+	vol, _, err := ds.ReadBox3D(context.Background(), "density", 0, box, ds.Meta.MaxLevel())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,11 +91,11 @@ func TestVolumeCoarseLevels(t *testing.T) {
 	const w, h, d = 16, 16, 16
 	ds := newVolumeDataset(t, w, h, d, 6)
 	data := volField(w, h, d)
-	if err := ds.WriteVolume("density", 0, data); err != nil {
+	if err := ds.WriteVolume(context.Background(), "density", 0, data); err != nil {
 		t.Fatal(err)
 	}
 	for level := 0; level <= ds.Meta.MaxLevel(); level += 3 {
-		vol, _, err := ds.ReadBox3D("density", 0, ds.FullBox3(), level)
+		vol, _, err := ds.ReadBox3D(context.Background(), "density", 0, ds.FullBox3(), level)
 		if err != nil {
 			t.Fatalf("level %d: %v", level, err)
 		}
@@ -118,14 +119,14 @@ func TestVolumeCoarseLevels(t *testing.T) {
 func TestVolumeCoarseLevelsReadLess(t *testing.T) {
 	const w, h, d = 64, 64, 32
 	ds := newVolumeDataset(t, w, h, d, 10)
-	if err := ds.WriteVolume("density", 0, volField(w, h, d)); err != nil {
+	if err := ds.WriteVolume(context.Background(), "density", 0, volField(w, h, d)); err != nil {
 		t.Fatal(err)
 	}
-	_, coarse, err := ds.ReadBox3D("density", 0, ds.FullBox3(), 6)
+	_, coarse, err := ds.ReadBox3D(context.Background(), "density", 0, ds.FullBox3(), 6)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, fine, err := ds.ReadBox3D("density", 0, ds.FullBox3(), ds.Meta.MaxLevel())
+	_, fine, err := ds.ReadBox3D(context.Background(), "density", 0, ds.FullBox3(), ds.Meta.MaxLevel())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,10 +139,10 @@ func TestVolumeSliceZ(t *testing.T) {
 	const w, h, d = 24, 12, 6
 	ds := newVolumeDataset(t, w, h, d, 8)
 	data := volField(w, h, d)
-	if err := ds.WriteVolume("density", 0, data); err != nil {
+	if err := ds.WriteVolume(context.Background(), "density", 0, data); err != nil {
 		t.Fatal(err)
 	}
-	slice, _, err := ds.ReadSliceZ("density", 0, 3)
+	slice, _, err := ds.ReadSliceZ(context.Background(), "density", 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,30 +157,30 @@ func TestVolumeSliceZ(t *testing.T) {
 			}
 		}
 	}
-	if _, _, err := ds.ReadSliceZ("density", 0, 99); err == nil {
+	if _, _, err := ds.ReadSliceZ(context.Background(), "density", 0, 99); err == nil {
 		t.Error("out-of-range slice accepted")
 	}
 }
 
 func TestVolumeValidation(t *testing.T) {
 	ds := newVolumeDataset(t, 8, 8, 8, 6)
-	if err := ds.WriteVolume("density", 0, make([]float32, 10)); err == nil {
+	if err := ds.WriteVolume(context.Background(), "density", 0, make([]float32, 10)); err == nil {
 		t.Error("short volume accepted")
 	}
-	if err := ds.WriteVolume("nope", 0, make([]float32, 512)); err == nil {
+	if err := ds.WriteVolume(context.Background(), "nope", 0, make([]float32, 512)); err == nil {
 		t.Error("unknown field accepted")
 	}
-	if err := ds.WriteVolume("density", 0, volField(8, 8, 8)); err != nil {
+	if err := ds.WriteVolume(context.Background(), "density", 0, volField(8, 8, 8)); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := ds.ReadBox3D("density", 0, Box3{X0: 9, X1: 10, Y1: 1, Z1: 1}, 9); err == nil {
+	if _, _, err := ds.ReadBox3D(context.Background(), "density", 0, Box3{X0: 9, X1: 10, Y1: 1, Z1: 1}, 9); err == nil {
 		t.Error("out-of-range box accepted")
 	}
-	if _, _, err := ds.ReadBox3D("density", 0, ds.FullBox3(), 99); err == nil {
+	if _, _, err := ds.ReadBox3D(context.Background(), "density", 0, ds.FullBox3(), 99); err == nil {
 		t.Error("bad level accepted")
 	}
 	// 2D API on a 3D dataset must refuse cleanly.
-	if _, _, err := ds.ReadBox("density", 0, Box{X1: 4, Y1: 4}, 6); err == nil {
+	if _, _, err := ds.ReadBox(context.Background(), "density", 0, Box{X1: 4, Y1: 4}, 6); err == nil {
 		t.Error("2D read on 3D dataset accepted")
 	}
 }
@@ -187,12 +188,12 @@ func TestVolumeValidation(t *testing.T) {
 func TestVolume2DWriteOn3DRefused(t *testing.T) {
 	ds := newVolumeDataset(t, 8, 8, 8, 6)
 	g := rampGrid(8, 8)
-	if err := ds.WriteGrid("density", 0, g); err == nil {
+	if err := ds.WriteGrid(context.Background(), "density", 0, g); err == nil {
 		t.Error("2D write on 3D dataset accepted")
 	}
 	// And 3D write on a 2D dataset.
 	ds2d, _ := newTestDataset(t, 8, 8, float32Fields())
-	if err := ds2d.WriteVolume("elevation", 0, make([]float32, 64)); err == nil {
+	if err := ds2d.WriteVolume(context.Background(), "elevation", 0, make([]float32, 64)); err == nil {
 		t.Error("3D write on 2D dataset accepted")
 	}
 }
@@ -201,10 +202,10 @@ func TestVolumeNaNSurvives(t *testing.T) {
 	ds := newVolumeDataset(t, 8, 8, 8, 6)
 	data := volField(8, 8, 8)
 	data[100] = float32(math.NaN())
-	if err := ds.WriteVolume("density", 0, data); err != nil {
+	if err := ds.WriteVolume(context.Background(), "density", 0, data); err != nil {
 		t.Fatal(err)
 	}
-	vol, _, err := ds.ReadBox3D("density", 0, ds.FullBox3(), ds.Meta.MaxLevel())
+	vol, _, err := ds.ReadBox3D(context.Background(), "density", 0, ds.FullBox3(), ds.Meta.MaxLevel())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestVolumeRoundTripProperty(t *testing.T) {
 		if meta.BitsPerBlock > 6 && meta.Bits.Bits() >= 6 {
 			meta.BitsPerBlock = 6
 		}
-		ds, err := Create(NewMemBackend(), meta)
+		ds, err := Create(context.Background(), NewMemBackend(), meta)
 		if err != nil {
 			return false
 		}
@@ -235,10 +236,10 @@ func TestVolumeRoundTripProperty(t *testing.T) {
 			s = s*6364136223846793005 + 1442695040888963407
 			data[i] = float32(int32(s >> 33))
 		}
-		if err := ds.WriteVolume("v", 0, data); err != nil {
+		if err := ds.WriteVolume(context.Background(), "v", 0, data); err != nil {
 			return false
 		}
-		vol, _, err := ds.ReadBox3D("v", 0, ds.FullBox3(), ds.Meta.MaxLevel())
+		vol, _, err := ds.ReadBox3D(context.Background(), "v", 0, ds.FullBox3(), ds.Meta.MaxLevel())
 		if err != nil {
 			return false
 		}
@@ -261,8 +262,8 @@ func BenchmarkVolumeWrite64(b *testing.B) {
 	b.SetBytes(int64(4 * len(data)))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		ds, _ := Create(NewMemBackend(), meta)
-		if err := ds.WriteVolume("v", 0, data); err != nil {
+		ds, _ := Create(context.Background(), NewMemBackend(), meta)
+		if err := ds.WriteVolume(context.Background(), "v", 0, data); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -271,14 +272,14 @@ func BenchmarkVolumeWrite64(b *testing.B) {
 func BenchmarkVolumeSliceZ(b *testing.B) {
 	meta, _ := NewMeta([]int{64, 64, 64}, []Field{{Name: "v", Type: Float32}})
 	meta.BitsPerBlock = 12
-	ds, _ := Create(NewMemBackend(), meta)
-	if err := ds.WriteVolume("v", 0, volField(64, 64, 64)); err != nil {
+	ds, _ := Create(context.Background(), NewMemBackend(), meta)
+	if err := ds.WriteVolume(context.Background(), "v", 0, volField(64, 64, 64)); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := ds.ReadSliceZ("v", 0, i%64); err != nil {
+		if _, _, err := ds.ReadSliceZ(context.Background(), "v", 0, i%64); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxBackgroundAnalyzer polices the end-to-end context threading the
+// serving path depends on: library packages must accept a caller's
+// context.Context, not mint fresh roots with context.Background() or
+// context.TODO(). A Background() deep in a library silently detaches
+// everything below it from the caller's deadline and cancellation —
+// exactly the bug class that let a disconnected dashboard client keep
+// a worker pool fetching blocks. Package main (process entry points own
+// the root context) and _test.go files are exempt; anything else needs
+// an explicit //lint:allow ctxbackground with a reason.
+var CtxBackgroundAnalyzer = &Analyzer{
+	Name: "ctxbackground",
+	Doc:  "library code must thread the caller's context, not call context.Background()/context.TODO()",
+	Run:  runCtxBackground,
+}
+
+func runCtxBackground(pass *Pass) {
+	if pass.Pkg.Types.Name() == "main" {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		pos := pass.Pkg.Fset.Position(file.Pos())
+		if strings.HasSuffix(pos.Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+				return true
+			}
+			switch fn.Name() {
+			case "Background", "TODO":
+				pass.Reportf(call.Pos(), "context.%s() mints a root context in library code: accept a context.Context from the caller instead", fn.Name())
+			}
+			return true
+		})
+	}
+}

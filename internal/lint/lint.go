@@ -1,8 +1,9 @@
-// Package lint is the repo's own static-analysis suite: five analyzers
+// Package lint is the repo's own static-analysis suite: six analyzers
 // that machine-check the conventions the serving stack depends on —
 // nsdf_-prefixed constant metric names, no silently dropped storage/IDX
-// errors, an allocation-free hot path, sound mutex usage, and abortable
-// worker goroutines. It is built only on go/ast, go/parser, go/types,
+// errors, an allocation-free hot path, sound mutex usage, abortable
+// worker goroutines, and caller-threaded contexts (no
+// context.Background() in library code). It is built only on go/ast, go/parser, go/types,
 // and go/importer, so `make lint` needs nothing beyond the Go toolchain.
 //
 // A finding can be suppressed — sparingly, with a reason — by an allow
@@ -117,6 +118,7 @@ func Analyzers() []*Analyzer {
 		HotAllocAnalyzer,
 		LockCopyAnalyzer,
 		GoLeakAnalyzer,
+		CtxBackgroundAnalyzer,
 	}
 }
 

@@ -1,0 +1,41 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestProgressiveStopsOnCancelBetweenLevels cancels the context from
+// inside the first delivery callback: Progressive must not start the
+// next refinement level, so the caller sees exactly one delivery and
+// context.Canceled.
+func TestProgressiveStopsOnCancelBetweenLevels(t *testing.T) {
+	e, _ := newEngine(t, 64, 64, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	deliveries := 0
+	err := e.Progressive(ctx, Request{Field: "elevation", Level: LevelFull}, 4, 2, func(r Result) error {
+		deliveries++
+		cancel()
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Progressive returned %v, want context.Canceled", err)
+	}
+	if deliveries != 1 {
+		t.Fatalf("got %d deliveries after in-callback cancel, want exactly 1", deliveries)
+	}
+}
+
+// TestReadHonoursPreCancelledContext checks the non-progressive entry
+// point: a Read issued with an already-dead context fails immediately
+// with the context error rather than touching the store.
+func TestReadHonoursPreCancelledContext(t *testing.T) {
+	e, _ := newEngine(t, 64, 64, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Read(ctx, Request{Field: "elevation", Level: LevelFull}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Read returned %v, want context.Canceled", err)
+	}
+}

@@ -7,6 +7,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -155,8 +156,10 @@ func latticeCount(lo, hi, stride int) int {
 	return (hi-1-first)/stride + 1
 }
 
-// Read evaluates the request at its resolved level.
-func (e *Engine) Read(req Request) (Result, error) {
+// Read evaluates the request at its resolved level. ctx bounds all block
+// I/O the read performs; a cancelled request aborts mid-fetch and
+// returns the context error.
+func (e *Engine) Read(ctx context.Context, req Request) (Result, error) {
 	req, err := e.normalize(req)
 	if err != nil {
 		return Result{}, err
@@ -164,11 +167,11 @@ func (e *Engine) Read(req Request) (Result, error) {
 	if e.tracker != nil && !req.noTrack {
 		e.tracker.record(req.Box)
 	}
-	return e.readAtLevel(req, req.Level)
+	return e.readAtLevel(ctx, req, req.Level)
 }
 
-func (e *Engine) readAtLevel(req Request, level int) (Result, error) {
-	g, stats, err := e.ds.ReadBox(req.Field, req.Time, req.Box, level)
+func (e *Engine) readAtLevel(ctx context.Context, req Request, level int) (Result, error) {
+	g, stats, err := e.ds.ReadBox(ctx, req.Field, req.Time, req.Box, level)
 	if err != nil {
 		return Result{}, err
 	}
@@ -192,8 +195,10 @@ func (e *Engine) readAtLevel(req Request, level int) (Result, error) {
 // with at least one sample in the box) and refining by step levels until
 // the request's resolved level. Returning a non-nil error from fn stops
 // the stream. This is the access pattern behind the dashboard's
-// immediate-preview-then-refine behaviour.
-func (e *Engine) Progressive(req Request, startLevel, step int, fn func(Result) error) error {
+// immediate-preview-then-refine behaviour. ctx is checked between levels
+// as well as inside each level's block fetches, so a disconnected client
+// stops the refinement loop before its next (and most expensive) level.
+func (e *Engine) Progressive(ctx context.Context, req Request, startLevel, step int, fn func(Result) error) error {
 	req, err := e.normalize(req)
 	if err != nil {
 		return err
@@ -210,10 +215,13 @@ func (e *Engine) Progressive(req Request, startLevel, step int, fn func(Result) 
 		first++
 	}
 	for level := first; ; level += step {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if level > req.Level {
 			level = req.Level
 		}
-		res, err := e.readAtLevel(req, level)
+		res, err := e.readAtLevel(ctx, req, level)
 		if err != nil {
 			return err
 		}
@@ -229,8 +237,8 @@ func (e *Engine) Progressive(req Request, startLevel, step int, fn func(Result) 
 // ProbePoint returns the named field's value at pixel (x,y) for every
 // timestep — the time-series probe behind the dashboard's "observe
 // changes and trends over time". Reads go through the block cache, so a
-// probe after a playback pass is free.
-func (e *Engine) ProbePoint(field string, x, y int) ([]float32, error) {
+// probe after a playback pass is free. ctx is checked per timestep.
+func (e *Engine) ProbePoint(ctx context.Context, field string, x, y int) ([]float32, error) {
 	meta := e.ds.Meta
 	if len(meta.Dims) != 2 {
 		return nil, fmt.Errorf("query: point probe requires a 2D dataset")
@@ -241,7 +249,10 @@ func (e *Engine) ProbePoint(field string, x, y int) ([]float32, error) {
 	out := make([]float32, meta.Timesteps)
 	box := idx.Box{X0: x, Y0: y, X1: x + 1, Y1: y + 1}
 	for t := 0; t < meta.Timesteps; t++ {
-		g, _, err := e.ds.ReadBox(field, t, box, meta.MaxLevel())
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		g, _, err := e.ds.ReadBox(ctx, field, t, box, meta.MaxLevel())
 		if err != nil {
 			return nil, fmt.Errorf("query: probe t=%d: %w", t, err)
 		}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -19,12 +20,12 @@ func newEngine(t *testing.T, w, h int, bitsPerBlock int) (*Engine, *raster.Grid)
 	if bitsPerBlock > 0 {
 		meta.BitsPerBlock = bitsPerBlock
 	}
-	ds, err := idx.Create(idx.NewMemBackend(), meta)
+	ds, err := idx.Create(context.Background(), idx.NewMemBackend(), meta)
 	if err != nil {
 		t.Fatal(err)
 	}
 	g := dem.Scale(dem.FBM(w, h, 3, dem.DefaultFBM()), 0, 2000)
-	if err := ds.WriteGrid("elevation", 0, g); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, g); err != nil {
 		t.Fatal(err)
 	}
 	return New(ds, 1<<20), g
@@ -32,7 +33,7 @@ func newEngine(t *testing.T, w, h int, bitsPerBlock int) (*Engine, *raster.Grid)
 
 func TestReadFullResolution(t *testing.T) {
 	e, g := newEngine(t, 64, 64, 10)
-	res, err := e.Read(Request{Field: "elevation", Level: LevelFull})
+	res, err := e.Read(context.Background(), Request{Field: "elevation", Level: LevelFull})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestReadFullResolution(t *testing.T) {
 
 func TestReadDefaultsToFullBox(t *testing.T) {
 	e, _ := newEngine(t, 32, 32, 8)
-	res, err := e.Read(Request{Field: "elevation", Level: LevelFull})
+	res, err := e.Read(context.Background(), Request{Field: "elevation", Level: LevelFull})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestReadDefaultsToFullBox(t *testing.T) {
 
 func TestMaxSamplesResolvesLevel(t *testing.T) {
 	e, _ := newEngine(t, 256, 256, 12)
-	res, err := e.Read(Request{Field: "elevation", Level: LevelAuto, MaxSamples: 1000})
+	res, err := e.Read(context.Background(), Request{Field: "elevation", Level: LevelAuto, MaxSamples: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestMaxSamplesResolvesLevel(t *testing.T) {
 
 func TestMaxSamplesUnboundedMeansFull(t *testing.T) {
 	e, _ := newEngine(t, 64, 64, 8)
-	res, err := e.Read(Request{Field: "elevation", Level: LevelAuto})
+	res, err := e.Read(context.Background(), Request{Field: "elevation", Level: LevelAuto})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,27 +90,27 @@ func TestMaxSamplesUnboundedMeansFull(t *testing.T) {
 
 func TestRequestValidation(t *testing.T) {
 	e, _ := newEngine(t, 32, 32, 8)
-	if _, err := e.Read(Request{Field: "elevation", Level: 99}); err == nil {
+	if _, err := e.Read(context.Background(), Request{Field: "elevation", Level: 99}); err == nil {
 		t.Error("excessive level accepted")
 	}
-	if _, err := e.Read(Request{Field: "elevation", Level: LevelFull, PrecisionBits: 40}); err == nil {
+	if _, err := e.Read(context.Background(), Request{Field: "elevation", Level: LevelFull, PrecisionBits: 40}); err == nil {
 		t.Error("precision 40 accepted")
 	}
-	if _, err := e.Read(Request{Field: "elevation", Level: LevelFull, Box: idx.Box{X0: 50, Y0: 50, X1: 60, Y1: 60}}); err == nil {
+	if _, err := e.Read(context.Background(), Request{Field: "elevation", Level: LevelFull, Box: idx.Box{X0: 50, Y0: 50, X1: 60, Y1: 60}}); err == nil {
 		t.Error("out-of-range box accepted")
 	}
-	if _, err := e.Read(Request{Field: "nope", Level: LevelFull}); err == nil {
+	if _, err := e.Read(context.Background(), Request{Field: "nope", Level: LevelFull}); err == nil {
 		t.Error("unknown field accepted")
 	}
 }
 
 func TestPrecisionReducesTransferAndAccuracy(t *testing.T) {
 	e, g := newEngine(t, 64, 64, 10)
-	full, err := e.Read(Request{Field: "elevation", Level: LevelFull})
+	full, err := e.Read(context.Background(), Request{Field: "elevation", Level: LevelFull})
 	if err != nil {
 		t.Fatal(err)
 	}
-	low, err := e.Read(Request{Field: "elevation", Level: LevelFull, PrecisionBits: 8})
+	low, err := e.Read(context.Background(), Request{Field: "elevation", Level: LevelFull, PrecisionBits: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestPrecisionReducesTransferAndAccuracy(t *testing.T) {
 
 func TestPrecision32IsExact(t *testing.T) {
 	e, g := newEngine(t, 32, 32, 8)
-	res, err := e.Read(Request{Field: "elevation", Level: LevelFull, PrecisionBits: 32})
+	res, err := e.Read(context.Background(), Request{Field: "elevation", Level: LevelFull, PrecisionBits: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestProgressiveRefinesToFull(t *testing.T) {
 	e, g := newEngine(t, 128, 128, 10)
 	var levels []int
 	var lastGrid *raster.Grid
-	err := e.Progressive(Request{Field: "elevation", Level: LevelFull}, 4, 2, func(r Result) error {
+	err := e.Progressive(context.Background(), Request{Field: "elevation", Level: LevelFull}, 4, 2, func(r Result) error {
 		levels = append(levels, r.Level)
 		lastGrid = r.Grid
 		return nil
@@ -180,7 +181,7 @@ func TestProgressiveEarlyStop(t *testing.T) {
 	e, _ := newEngine(t, 128, 128, 10)
 	stop := errors.New("enough")
 	count := 0
-	err := e.Progressive(Request{Field: "elevation", Level: LevelFull}, 0, 2, func(r Result) error {
+	err := e.Progressive(context.Background(), Request{Field: "elevation", Level: LevelFull}, 0, 2, func(r Result) error {
 		count++
 		if count == 2 {
 			return stop
@@ -198,7 +199,7 @@ func TestProgressiveEarlyStop(t *testing.T) {
 func TestProgressiveCoarseLevelsCheapen(t *testing.T) {
 	e, _ := newEngine(t, 256, 256, 12)
 	var transfers []int64
-	err := e.Progressive(Request{Field: "elevation", Level: LevelFull}, 2, 4, func(r Result) error {
+	err := e.Progressive(context.Background(), Request{Field: "elevation", Level: LevelFull}, 2, 4, func(r Result) error {
 		transfers = append(transfers, r.TransferBytes)
 		return nil
 	})
@@ -219,7 +220,7 @@ func TestProgressiveSubregion(t *testing.T) {
 	e, g := newEngine(t, 128, 128, 10)
 	box := idx.Box{X0: 32, Y0: 48, X1: 96, Y1: 112}
 	var last Result
-	err := e.Progressive(Request{Field: "elevation", Box: box, Level: LevelFull}, 0, 3, func(r Result) error {
+	err := e.Progressive(context.Background(), Request{Field: "elevation", Box: box, Level: LevelFull}, 0, 3, func(r Result) error {
 		last = r
 		return nil
 	})
@@ -237,14 +238,14 @@ func TestProgressiveSubregion(t *testing.T) {
 
 func TestCacheWarmsAcrossReads(t *testing.T) {
 	e, _ := newEngine(t, 64, 64, 8)
-	r1, err := e.Read(Request{Field: "elevation", Level: LevelFull})
+	r1, err := e.Read(context.Background(), Request{Field: "elevation", Level: LevelFull})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r1.Stats.BlocksRead == 0 {
 		t.Error("cold read fetched nothing")
 	}
-	r2, err := e.Read(Request{Field: "elevation", Level: LevelFull})
+	r2, err := e.Read(context.Background(), Request{Field: "elevation", Level: LevelFull})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +263,7 @@ func TestProbePoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	meta.Timesteps = 4
-	ds, err := idx.Create(idx.NewMemBackend(), meta)
+	ds, err := idx.Create(context.Background(), idx.NewMemBackend(), meta)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,12 +272,12 @@ func TestProbePoint(t *testing.T) {
 		for i := range g.Data {
 			g.Data[i] = float32(1000*ts + i)
 		}
-		if err := ds.WriteGrid("f", ts, g); err != nil {
+		if err := ds.WriteGrid(context.Background(), "f", ts, g); err != nil {
 			t.Fatal(err)
 		}
 	}
 	e := New(ds, 1<<20)
-	values, err := e.ProbePoint("f", 3, 2)
+	values, err := e.ProbePoint(context.Background(), "f", 3, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,10 +290,10 @@ func TestProbePoint(t *testing.T) {
 			t.Errorf("t=%d: %v, want %v", ts, v, want)
 		}
 	}
-	if _, err := e.ProbePoint("f", 99, 0); err == nil {
+	if _, err := e.ProbePoint(context.Background(), "f", 99, 0); err == nil {
 		t.Error("out-of-range probe accepted")
 	}
-	if _, err := e.ProbePoint("nope", 0, 0); err == nil {
+	if _, err := e.ProbePoint(context.Background(), "nope", 0, 0); err == nil {
 		t.Error("unknown field accepted")
 	}
 }
@@ -314,16 +315,16 @@ func TestSamplesAtLevel(t *testing.T) {
 func BenchmarkProgressiveFull256(b *testing.B) {
 	meta, _ := idx.NewMeta([]int{256, 256}, []idx.Field{{Name: "elevation", Type: idx.Float32, Codec: "zlib"}})
 	meta.BitsPerBlock = 12
-	ds, _ := idx.Create(idx.NewMemBackend(), meta)
+	ds, _ := idx.Create(context.Background(), idx.NewMemBackend(), meta)
 	g := dem.Scale(dem.FBM(256, 256, 1, dem.DefaultFBM()), 0, 2000)
-	if err := ds.WriteGrid("elevation", 0, g); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, g); err != nil {
 		b.Fatal(err)
 	}
 	e := New(ds, 1<<22)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		err := e.Progressive(Request{Field: "elevation", Level: LevelFull}, 4, 4, func(Result) error { return nil })
+		err := e.Progressive(context.Background(), Request{Field: "elevation", Level: LevelFull}, 4, 4, func(Result) error { return nil })
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -117,7 +118,7 @@ func (e *Engine) Tracker() *AccessTracker { return e.tracker }
 // given level, purely to warm the block cache — the engine's answer to
 // "prioritize frequently accessed data". It reports what was warmed.
 // With tracking off or no traffic yet, Prefetch is a no-op.
-func (e *Engine) Prefetch(field string, t, level int) (idx.Box, idx.ReadStats, error) {
+func (e *Engine) Prefetch(ctx context.Context, field string, t, level int) (idx.Box, idx.ReadStats, error) {
 	if e.tracker == nil {
 		return idx.Box{}, idx.ReadStats{}, nil
 	}
@@ -125,7 +126,7 @@ func (e *Engine) Prefetch(field string, t, level int) (idx.Box, idx.ReadStats, e
 	if !ok {
 		return idx.Box{}, idx.ReadStats{}, nil
 	}
-	res, err := e.Read(Request{Field: field, Time: t, Box: hot, Level: level, noTrack: true})
+	res, err := e.Read(ctx, Request{Field: field, Time: t, Box: hot, Level: level, noTrack: true})
 	if err != nil {
 		return hot, idx.ReadStats{}, fmt.Errorf("query: prefetch: %w", err)
 	}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"testing"
 
 	"nsdfgo/internal/idx"
@@ -11,7 +12,7 @@ func TestTrackerOffByDefault(t *testing.T) {
 	if e.Tracker() != nil {
 		t.Error("tracker on by default")
 	}
-	box, stats, err := e.Prefetch("elevation", 0, 8)
+	box, stats, err := e.Prefetch(context.Background(), "elevation", 0, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +25,7 @@ func TestTrackerRecordsRequests(t *testing.T) {
 	e, _ := newEngine(t, 64, 64, 8)
 	e.EnableTracking(16)
 	for i := 0; i < 5; i++ {
-		if _, err := e.Read(Request{Field: "elevation", Box: idx.Box{X0: 16, Y0: 16, X1: 32, Y1: 32}, Level: LevelFull}); err != nil {
+		if _, err := e.Read(context.Background(), Request{Field: "elevation", Box: idx.Box{X0: 16, Y0: 16, X1: 32, Y1: 32}, Level: LevelFull}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -37,12 +38,12 @@ func TestHotBoxFindsRevisitedRegion(t *testing.T) {
 	e, _ := newEngine(t, 128, 128, 10)
 	e.EnableTracking(32)
 	// One full-extent overview, many revisits of the NE quadrant.
-	if _, err := e.Read(Request{Field: "elevation", Level: 8}); err != nil {
+	if _, err := e.Read(context.Background(), Request{Field: "elevation", Level: 8}); err != nil {
 		t.Fatal(err)
 	}
 	target := idx.Box{X0: 64, Y0: 0, X1: 128, Y1: 64}
 	for i := 0; i < 10; i++ {
-		if _, err := e.Read(Request{Field: "elevation", Box: target, Level: LevelFull}); err != nil {
+		if _, err := e.Read(context.Background(), Request{Field: "elevation", Box: target, Level: LevelFull}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -75,12 +76,12 @@ func TestPrefetchWarmsCache(t *testing.T) {
 	target := idx.Box{X0: 0, Y0: 64, X1: 64, Y1: 128}
 	// Train the tracker with cheap coarse reads.
 	for i := 0; i < 6; i++ {
-		if _, err := e.Read(Request{Field: "elevation", Box: target, Level: 6}); err != nil {
+		if _, err := e.Read(context.Background(), Request{Field: "elevation", Box: target, Level: 6}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Prefetch the hot region at full resolution.
-	hot, stats, err := e.Prefetch("elevation", 0, e.Dataset().Meta.MaxLevel())
+	hot, stats, err := e.Prefetch(context.Background(), "elevation", 0, e.Dataset().Meta.MaxLevel())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestPrefetchWarmsCache(t *testing.T) {
 		t.Fatal("prefetch fetched nothing")
 	}
 	// The user's next full-resolution read of the region is now cache-only.
-	res, err := e.Read(Request{Field: "elevation", Box: target, Level: LevelFull})
+	res, err := e.Read(context.Background(), Request{Field: "elevation", Box: target, Level: LevelFull})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,11 +104,11 @@ func TestPrefetchWarmsCache(t *testing.T) {
 func TestPrefetchDoesNotFeedTracker(t *testing.T) {
 	e, _ := newEngine(t, 64, 64, 8)
 	e.EnableTracking(8)
-	if _, err := e.Read(Request{Field: "elevation", Box: idx.Box{X0: 0, Y0: 0, X1: 8, Y1: 8}, Level: LevelFull}); err != nil {
+	if _, err := e.Read(context.Background(), Request{Field: "elevation", Box: idx.Box{X0: 0, Y0: 0, X1: 8, Y1: 8}, Level: LevelFull}); err != nil {
 		t.Fatal(err)
 	}
 	before := e.Tracker().Requests()
-	if _, _, err := e.Prefetch("elevation", 0, 8); err != nil {
+	if _, _, err := e.Prefetch(context.Background(), "elevation", 0, 8); err != nil {
 		t.Fatal(err)
 	}
 	if e.Tracker().Requests() != before {
@@ -118,7 +119,7 @@ func TestPrefetchDoesNotFeedTracker(t *testing.T) {
 func TestEnableTrackingResets(t *testing.T) {
 	e, _ := newEngine(t, 64, 64, 8)
 	e.EnableTracking(8)
-	e.Read(Request{Field: "elevation", Level: 4})
+	e.Read(context.Background(), Request{Field: "elevation", Level: 4})
 	e.EnableTracking(8)
 	if e.Tracker().Requests() != 0 {
 		t.Error("re-enable did not reset")

@@ -68,17 +68,25 @@ func (c *Conditioned) delay(ctx context.Context, payloadBytes int) error {
 	}
 	c.statsMu.Lock()
 	c.ops++
-	c.totalWait += d
 	c.statsMu.Unlock()
 	if d <= 0 {
 		return ctx.Err()
 	}
+	// TotalWait records only the wait actually served: when ctx cancels
+	// the sleep early, the elapsed portion is booked, not the full d.
+	begin := time.Now()
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-ctx.Done():
+		c.statsMu.Lock()
+		c.totalWait += time.Since(begin)
+		c.statsMu.Unlock()
 		return ctx.Err()
 	case <-t.C:
+		c.statsMu.Lock()
+		c.totalWait += d
+		c.statsMu.Unlock()
 		return nil
 	}
 }

@@ -27,9 +27,11 @@ func NewIDXBackend(store Store, prefix string) *IDXBackend {
 	return &IDXBackend{store: store, prefix: prefix}
 }
 
-// Get implements idx.Backend.
-func (b *IDXBackend) Get(name string) ([]byte, error) {
-	data, err := b.store.Get(context.Background(), b.prefix+name)
+// Get implements idx.Backend: the caller's context reaches the store
+// unmodified, so a cancelled dashboard request aborts the wide-area
+// fetch instead of letting it run to completion against a hung link.
+func (b *IDXBackend) Get(ctx context.Context, name string) ([]byte, error) {
+	data, err := b.store.Get(ctx, b.prefix+name)
 	if errors.Is(err, ErrNotExist) {
 		return nil, &idx.NotExistError{Name: name}
 	}
@@ -37,19 +39,19 @@ func (b *IDXBackend) Get(name string) ([]byte, error) {
 }
 
 // Put implements idx.Backend.
-func (b *IDXBackend) Put(name string, data []byte) error {
-	return b.store.Put(context.Background(), b.prefix+name, data)
+func (b *IDXBackend) Put(ctx context.Context, name string, data []byte) error {
+	return b.store.Put(ctx, b.prefix+name, data)
 }
 
 // Delete implements idx.Deleter, letting idx.Create clear stale blocks
 // on store-backed datasets.
-func (b *IDXBackend) Delete(name string) error {
-	return b.store.Delete(context.Background(), b.prefix+name)
+func (b *IDXBackend) Delete(ctx context.Context, name string) error {
+	return b.store.Delete(ctx, b.prefix+name)
 }
 
 // List implements idx.Backend.
-func (b *IDXBackend) List(prefix string) ([]string, error) {
-	infos, err := b.store.List(context.Background(), b.prefix+prefix)
+func (b *IDXBackend) List(ctx context.Context, prefix string) ([]string, error) {
+	infos, err := b.store.List(ctx, b.prefix+prefix)
 	if err != nil {
 		return nil, err
 	}

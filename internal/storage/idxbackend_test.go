@@ -15,7 +15,7 @@ func TestIDXBackendRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds, err := idx.Create(be, meta)
+	ds, err := idx.Create(context.Background(), be, meta)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,15 +23,15 @@ func TestIDXBackendRoundTrip(t *testing.T) {
 	for i := range g.Data {
 		g.Data[i] = float32(i)
 	}
-	if err := ds.WriteGrid("elevation", 0, g); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, g); err != nil {
 		t.Fatal(err)
 	}
 	// Reopen through a second backend instance.
-	ds2, err := idx.Open(NewIDXBackend(store, "datasets/tn/"))
+	ds2, err := idx.Open(context.Background(), NewIDXBackend(store, "datasets/tn/"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, _, err := ds2.ReadFull("elevation", 0)
+	out, _, err := ds2.ReadFull(context.Background(), "elevation", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestIDXBackendRoundTrip(t *testing.T) {
 
 func TestIDXBackendMissingMapsToNotExist(t *testing.T) {
 	be := NewIDXBackend(NewMemStore(), "p")
-	if _, err := be.Get("nope"); !idx.IsNotExist(err) {
+	if _, err := be.Get(context.Background(), "nope"); !idx.IsNotExist(err) {
 		t.Errorf("missing object error = %v", err)
 	}
 }
@@ -50,10 +50,10 @@ func TestIDXBackendMissingMapsToNotExist(t *testing.T) {
 func TestIDXBackendListStripsPrefix(t *testing.T) {
 	store := NewMemStore()
 	be := NewIDXBackend(store, "root")
-	if err := be.Put("fields/a/b1", []byte("x")); err != nil {
+	if err := be.Put(context.Background(), "fields/a/b1", []byte("x")); err != nil {
 		t.Fatal(err)
 	}
-	names, err := be.List("fields/")
+	names, err := be.List(context.Background(), "fields/")
 	if err != nil || len(names) != 1 || names[0] != "fields/a/b1" {
 		t.Fatalf("List = %v, %v", names, err)
 	}

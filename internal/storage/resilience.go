@@ -143,11 +143,16 @@ func permanent(err error) bool {
 		errors.Is(err, context.DeadlineExceeded)
 }
 
-// do runs op with retries.
+// do runs op with retries. ctx is consulted before every attempt — not
+// only inside the backoff sleep — so a cancelled caller never burns
+// remaining attempts against the inner store, even with BaseDelay == 0.
 func (r *Retry) do(ctx context.Context, op func() error) error {
 	var err error
 	delay := r.BaseDelay
 	for attempt := 0; attempt < r.Attempts; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
 		if attempt > 0 {
 			r.mu.Lock()
 			r.retries++

@@ -3,7 +3,9 @@ package storage
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
+	"time"
 
 	"nsdfgo/internal/idx"
 	"nsdfgo/internal/raster"
@@ -138,7 +140,7 @@ func TestIDXOverFlakyStoreWithRetry(t *testing.T) {
 		t.Fatal(err)
 	}
 	meta.BitsPerBlock = 8
-	ds, err := idx.Create(be, meta)
+	ds, err := idx.Create(context.Background(), be, meta)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,11 +148,11 @@ func TestIDXOverFlakyStoreWithRetry(t *testing.T) {
 	for i := range g.Data {
 		g.Data[i] = float32(i)
 	}
-	if err := ds.WriteGrid("elevation", 0, g); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, g); err != nil {
 		t.Fatal(err)
 	}
 	for trial := 0; trial < 5; trial++ {
-		out, _, err := ds.ReadFull("elevation", 0)
+		out, _, err := ds.ReadFull(context.Background(), "elevation", 0)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -193,5 +195,70 @@ func BenchmarkRetryOverhead(b *testing.B) {
 		if _, err := r.Get(ctx, "k"); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// callCountingStore counts every operation that reaches the inner store.
+type callCountingStore struct {
+	Store
+	mu    sync.Mutex
+	calls int
+}
+
+func (s *callCountingStore) count() {
+	s.mu.Lock()
+	s.calls++
+	s.mu.Unlock()
+}
+
+func (s *callCountingStore) Calls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+func (s *callCountingStore) Get(ctx context.Context, key string) ([]byte, error) {
+	s.count()
+	return s.Store.Get(ctx, key)
+}
+
+func (s *callCountingStore) Put(ctx context.Context, key string, data []byte) error {
+	s.count()
+	return s.Store.Put(ctx, key, data)
+}
+
+// TestRetryPreCancelledMakesZeroCalls is the regression test for the
+// zero-BaseDelay hole: with no backoff sleeps there was no point at
+// which ctx was consulted, so a cancelled caller still burned every
+// attempt against the inner store. Now the context is checked before
+// each attempt, so a pre-cancelled retry must make zero inner calls.
+func TestRetryPreCancelledMakesZeroCalls(t *testing.T) {
+	inner := &callCountingStore{Store: NewMemStore()}
+	r := NewRetry(inner, 5, 0) // BaseDelay 0: no backoff sleep to hide in
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := r.Put(ctx, "k", []byte("v")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Put returned %v, want context.Canceled", err)
+	}
+	if _, err := r.Get(ctx, "k"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Get returned %v, want context.Canceled", err)
+	}
+	if n := inner.Calls(); n != 0 {
+		t.Fatalf("cancelled retry reached the inner store %d times, want 0", n)
+	}
+}
+
+// TestConditionedCancelBooksElapsedWaitOnly pins the stats fix: a
+// cancelled operation must book only the wait actually served, not the
+// full simulated delay it never sat through.
+func TestConditionedCancelBooksElapsedWaitOnly(t *testing.T) {
+	c := NewConditioned(NewMemStore(), NetworkProfile{RTT: time.Hour}, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := c.Get(ctx, "k"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Get returned %v, want context.DeadlineExceeded", err)
+	}
+	if wait := c.Stats().TotalWait; wait >= time.Minute {
+		t.Fatalf("TotalWait = %v: cancelled op booked the full simulated delay", wait)
 	}
 }

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -174,4 +175,21 @@ func (m *HTTPMetrics) Wrap(route string, handler func(http.ResponseWriter, *http
 		m.inFlight.Add(-1)
 		m.Observe(route, rec.Code, time.Since(start))
 	}
+}
+
+// WithRequestTimeout bounds every request's context with a deadline of d
+// before handing it to next — the server-side backstop that keeps a hung
+// backend from pinning a handler forever even when the client never
+// disconnects. d <= 0 returns next unchanged (timeouts disabled). The
+// handler itself must propagate r.Context() for the deadline to bite;
+// this repository's dashboard, catalog, and storage handlers all do.
+func WithRequestTimeout(next http.Handler, d time.Duration) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
 }

@@ -1,6 +1,7 @@
 package telemetry_test
 
 import (
+	"context"
 	"testing"
 
 	"nsdfgo/internal/dem"
@@ -19,11 +20,11 @@ func TestCacheCountersMatchReadStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	meta.BitsPerBlock = 8
-	ds, err := idx.Create(idx.NewMemBackend(), meta)
+	ds, err := idx.Create(context.Background(), idx.NewMemBackend(), meta)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ds.WriteGrid("elevation", 0, dem.Scale(dem.FBM(64, 64, 3, dem.DefaultFBM()), 0, 2000)); err != nil {
+	if err := ds.WriteGrid(context.Background(), "elevation", 0, dem.Scale(dem.FBM(64, 64, 3, dem.DefaultFBM()), 0, 2000)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -36,7 +37,7 @@ func TestCacheCountersMatchReadStats(t *testing.T) {
 	bytesRead := reg.Counter("nsdf_idx_bytes_read_total", "dataset", "test")
 
 	level := ds.Meta.MaxLevel()
-	_, cold, err := ds.ReadBox("elevation", 0, ds.FullBox(), level)
+	_, cold, err := ds.ReadBox(context.Background(), "elevation", 0, ds.FullBox(), level)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestCacheCountersMatchReadStats(t *testing.T) {
 		t.Errorf("after cold read: bytes_read counter = %d, ReadStats.BytesRead = %d", got, cold.BytesRead)
 	}
 
-	_, warm, err := ds.ReadBox("elevation", 0, ds.FullBox(), level)
+	_, warm, err := ds.ReadBox(context.Background(), "elevation", 0, ds.FullBox(), level)
 	if err != nil {
 		t.Fatal(err)
 	}
