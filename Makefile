@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race lint fuzz-smoke check bench-readpath bench-readpath-smoke
+.PHONY: build test vet race lint fuzz-smoke check bench-readpath bench-readpath-smoke bench-trace bench-trace-smoke
 
 build:
 	$(GO) build ./...
@@ -44,5 +44,17 @@ bench-readpath:
 bench-readpath-smoke:
 	NSDF_BENCH_READPATH_ITERS=1 $(GO) test ./internal/idx -run '^TestBenchReadpathEmit$$' -count=1
 
-check: build test vet race lint fuzz-smoke bench-readpath-smoke
+# Measure what an active trace costs the warm-cache ReadBox path and
+# refresh BENCH_trace_overhead.json. Fails if the overhead exceeds the
+# 5% budget.
+bench-trace:
+	NSDF_BENCH_TRACE_ITERS=20 NSDF_BENCH_TRACE_OUT=$(CURDIR)/BENCH_trace_overhead.json \
+		$(GO) test ./internal/idx -run '^TestBenchTraceOverheadEmit$$' -count=1 -v
+
+# One-iteration smoke of the trace-overhead harness (temp output, no
+# gating): keeps it compiling and running under `make check`.
+bench-trace-smoke:
+	NSDF_BENCH_TRACE_ITERS=1 $(GO) test ./internal/idx -run '^TestBenchTraceOverheadEmit$$' -count=1
+
+check: build test vet race lint fuzz-smoke bench-readpath-smoke bench-trace-smoke
 	@echo "check: all gates passed"

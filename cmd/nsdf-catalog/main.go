@@ -16,6 +16,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"time"
@@ -41,6 +42,8 @@ func run() error {
 	typ := flag.String("type", "", "restrict to one data type")
 	limit := flag.Int("limit", 20, "maximum results")
 	stats := flag.Bool("stats", false, "print catalog statistics and exit")
+	logFormat := flag.String("log-format", telemetry.LogFormatText, "log encoding for -serve: text or json")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address while serving (empty disables)")
 	flag.Parse()
 
 	if *remote != "" {
@@ -89,9 +92,28 @@ func run() error {
 
 	switch {
 	case *serve:
+		logger, err := telemetry.NewLogger(os.Stderr, *logFormat)
+		if err != nil {
+			return err
+		}
+		telemetry.SetLogger(logger)
+		reg := telemetry.NewRegistry()
+		telemetry.RegisterRuntimeMetrics(reg)
 		srv := catalog.NewServer(cat)
-		srv.EnableTelemetry(telemetry.NewRegistry())
-		fmt.Printf("catalog service listening on %s (%d records, metrics at /metrics)\n", *addr, cat.Len())
+		srv.EnableTelemetry(reg)
+		if *pprofAddr != "" {
+			go func(addr string) {
+				logger.Info("pprof listening", slog.String("addr", addr), slog.String("path", "/debug/pprof/"))
+				ps := &http.Server{Addr: addr, Handler: telemetry.PprofMux(), ReadHeaderTimeout: 5 * time.Second}
+				if err := ps.ListenAndServe(); err != nil {
+					logger.Error("pprof server failed", slog.String("error", err.Error()))
+				}
+			}(*pprofAddr)
+		}
+		logger.Info("catalog service listening",
+			slog.String("addr", *addr),
+			slog.Int("records", cat.Len()),
+			slog.String("metrics", "/metrics"))
 		hs := &http.Server{
 			Addr:              *addr,
 			Handler:           srv,

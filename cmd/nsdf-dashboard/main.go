@@ -2,16 +2,22 @@
 // or more IDX datasets. With -demo it synthesises a Tennessee dataset
 // first so the dashboard works out of the box.
 //
+// Every request runs under a trace: the X-NSDF-Trace-Id response header
+// names it, /debug/traces shows where its time went, requests slower
+// than -slow-request log a structured summary of their worst spans, and
+// -pprof-addr exposes the Go profiler on a separate listener.
+//
 // Usage:
 //
 //	nsdf-dashboard -addr :8080 -data name=./tennessee.idxdata
-//	nsdf-dashboard -demo
+//	nsdf-dashboard -demo -slow-request 250ms -log-format json
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"strings"
@@ -23,6 +29,7 @@ import (
 	"nsdfgo/internal/idx"
 	"nsdfgo/internal/query"
 	"nsdfgo/internal/telemetry"
+	"nsdfgo/internal/telemetry/trace"
 )
 
 func main() {
@@ -48,14 +55,27 @@ func run() error {
 	demo := flag.Bool("demo", false, "synthesise and register a demo Tennessee dataset")
 	summaryEvery := flag.Duration("summary-interval", 30*time.Second, "interval between one-line telemetry summaries (0 disables)")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline bounding all block I/O (0 disables)")
+	slowRequest := flag.Duration("slow-request", time.Second, "log a structured span summary for requests at least this slow (0 disables)")
+	logFormat := flag.String("log-format", telemetry.LogFormatText, "log encoding: text or json")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
+	traceBuffer := flag.Int("trace-buffer", trace.DefaultCapacity, "completed traces retained for /debug/traces")
 	var data dataFlags
 	flag.Var(&data, "data", "dataset as name=path/to/idx/dir (repeatable)")
 	flag.Parse()
 
+	logger, err := telemetry.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		return err
+	}
+	telemetry.SetLogger(logger)
+
 	ctx := context.Background()
 	reg := telemetry.NewRegistry()
+	telemetry.RegisterRuntimeMetrics(reg)
+	traces := trace.NewCollector(*traceBuffer)
 	server := dashboard.NewServer()
 	server.EnableTelemetry(reg)
+	server.EnableTracing(traces)
 	registered := 0
 	for _, spec := range data {
 		name, path, ok := strings.Cut(spec, "=")
@@ -71,8 +91,12 @@ func run() error {
 			return fmt.Errorf("open %s: %w", path, err)
 		}
 		server.Register(name, query.New(ds, int64(*cacheMB)<<20))
-		fmt.Printf("registered %s: %dx%d, %d fields, %d timesteps\n",
-			name, ds.Meta.Dims[0], ds.Meta.Dims[1], len(ds.Meta.Fields), ds.Meta.Timesteps)
+		logger.Info("registered dataset",
+			slog.String("dataset", name),
+			slog.Int("width", ds.Meta.Dims[0]),
+			slog.Int("height", ds.Meta.Dims[1]),
+			slog.Int("fields", len(ds.Meta.Fields)),
+			slog.Int("timesteps", ds.Meta.Timesteps))
 		registered++
 	}
 	if *demo {
@@ -81,54 +105,86 @@ func run() error {
 			return fmt.Errorf("demo dataset: %w", err)
 		}
 		server.Register("tennessee_demo", query.New(ds, int64(*cacheMB)<<20))
-		fmt.Println("registered tennessee_demo (synthetic 512x256, 4 fields)")
+		logger.Info("registered dataset",
+			slog.String("dataset", "tennessee_demo"),
+			slog.Int("width", 512), slog.Int("height", 256),
+			slog.Int("fields", len(geotiled.TutorialParams)))
 		registered++
 	}
 	if registered == 0 {
 		return fmt.Errorf("nothing to serve: pass -data name=path or -demo")
 	}
 	if *summaryEvery > 0 {
-		go summaryLoop(reg, *summaryEvery)
+		go summaryLoop(logger, reg, *summaryEvery)
 	}
-	fmt.Printf("dashboard listening on %s (metrics at /metrics)\n", *addr)
+	if *pprofAddr != "" {
+		go servePprof(logger, *pprofAddr)
+	}
+	logger.Info("dashboard listening",
+		slog.String("addr", *addr),
+		slog.String("metrics", "/metrics"),
+		slog.String("traces", "/debug/traces"))
 	// ReadHeaderTimeout/IdleTimeout keep slow or silent clients from
 	// holding connections open indefinitely; WithRequestTimeout bounds
-	// each request's block I/O when -request-timeout is set.
+	// each request's block I/O when -request-timeout is set; WithTracing
+	// is outermost so the root span covers the whole request.
+	handler := telemetry.WithTracing(
+		telemetry.WithRequestTimeout(server, *requestTimeout),
+		traces,
+		telemetry.TracingOptions{Service: "dashboard", SlowRequest: *slowRequest, Logger: logger})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           telemetry.WithRequestTimeout(server, *requestTimeout),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
 	return srv.ListenAndServe()
 }
 
-// summaryLoop prints a periodic one-line operational summary so sweep
-// logs capture hit rates and latency percentiles without scraping.
-func summaryLoop(reg *telemetry.Registry, every time.Duration) {
-	for range time.Tick(every) {
-		fmt.Println(summaryLine(reg))
+// servePprof runs the opt-in profiling listener. It is a separate server
+// so the profiler is never reachable from the data-serving port.
+func servePprof(logger *slog.Logger, addr string) {
+	logger.Info("pprof listening", slog.String("addr", addr), slog.String("path", "/debug/pprof/"))
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           telemetry.PprofMux(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		logger.Error("pprof server failed", slog.String("error", err.Error()))
 	}
 }
 
-// summaryLine condenses the registry into one log line.
-func summaryLine(reg *telemetry.Registry) string {
-	requests := reg.SumFamily("nsdf_http_requests_total")
+// summaryLoop emits a periodic structured operational summary so sweep
+// logs capture hit rates and latency percentiles without scraping.
+func summaryLoop(logger *slog.Logger, reg *telemetry.Registry, every time.Duration) {
+	for range time.Tick(every) {
+		logSummary(logger, reg)
+	}
+}
+
+// logSummary condenses the registry into one structured log record.
+func logSummary(logger *slog.Logger, reg *telemetry.Registry) {
 	hits := reg.SumFamily("nsdf_cache_hits_total")
 	misses := reg.SumFamily("nsdf_cache_misses_total")
 	hitRate := 0.0
 	if hits+misses > 0 {
 		hitRate = 100 * hits / (hits + misses)
 	}
-	line := fmt.Sprintf("[metrics] http_requests=%.0f cache_hit=%.1f%% blocks_read=%.0f blocks_cached=%.0f bytes_read=%.0f",
-		requests, hitRate,
-		reg.SumFamily("nsdf_idx_blocks_read_total"),
-		reg.SumFamily("nsdf_idx_blocks_cached_total"),
-		reg.SumFamily("nsdf_idx_bytes_read_total"))
-	if p50, p95, p99, ok := reg.FamilyQuantiles("nsdf_http_request_seconds"); ok {
-		line += fmt.Sprintf(" http_p50=%.1fms p95=%.1fms p99=%.1fms", p50*1e3, p95*1e3, p99*1e3)
+	args := []any{
+		slog.Float64("http_requests", reg.SumFamily("nsdf_http_requests_total")),
+		slog.Float64("cache_hit_pct", hitRate),
+		slog.Float64("blocks_read", reg.SumFamily("nsdf_idx_blocks_read_total")),
+		slog.Float64("blocks_cached", reg.SumFamily("nsdf_idx_blocks_cached_total")),
+		slog.Float64("bytes_read", reg.SumFamily("nsdf_idx_bytes_read_total")),
 	}
-	return line
+	if p50, p95, p99, ok := reg.FamilyQuantiles("nsdf_http_request_seconds"); ok {
+		args = append(args,
+			slog.Float64("http_p50_ms", p50*1e3),
+			slog.Float64("http_p95_ms", p95*1e3),
+			slog.Float64("http_p99_ms", p99*1e3))
+	}
+	logger.Info("telemetry summary", args...)
 }
 
 // buildDemoDataset synthesises the tutorial's Tennessee scene in memory.

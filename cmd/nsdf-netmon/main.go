@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"strconv"
@@ -38,7 +39,15 @@ func run() error {
 	monitor := flag.Int("monitor", 0, "run N monitoring sweeps and report degradation alerts")
 	degrade := flag.String("degrade", "", "inject degradation before the final sweep: from:to:rttFactor:bwFactor")
 	metricsAddr := flag.String("metrics-addr", "", "serve a /metrics telemetry endpoint on this address while monitoring")
+	logFormat := flag.String("log-format", telemetry.LogFormatText, "log encoding for operational messages: text or json")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address while monitoring (empty disables)")
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		return err
+	}
+	telemetry.SetLogger(logger)
 
 	net, err := netmon.NewNetwork(netmon.Testbed(), *seed)
 	if err != nil {
@@ -47,6 +56,7 @@ func run() error {
 
 	if *monitor > 0 {
 		reg := telemetry.NewRegistry()
+		telemetry.RegisterRuntimeMetrics(reg)
 		if *metricsAddr != "" {
 			mux := http.NewServeMux()
 			mux.Handle("/metrics", reg.Handler())
@@ -58,10 +68,19 @@ func run() error {
 			}
 			go func() {
 				if err := srv.ListenAndServe(); err != nil {
-					fmt.Fprintln(os.Stderr, "nsdf-netmon: metrics server:", err)
+					logger.Error("metrics server failed", slog.String("error", err.Error()))
 				}
 			}()
-			fmt.Printf("telemetry listening on %s/metrics\n", *metricsAddr)
+			logger.Info("telemetry listening", slog.String("addr", *metricsAddr), slog.String("metrics", "/metrics"))
+		}
+		if *pprofAddr != "" {
+			go func(addr string) {
+				logger.Info("pprof listening", slog.String("addr", addr), slog.String("path", "/debug/pprof/"))
+				ps := &http.Server{Addr: addr, Handler: telemetry.PprofMux(), ReadHeaderTimeout: 5 * time.Second}
+				if err := ps.ListenAndServe(); err != nil {
+					logger.Error("pprof server failed", slog.String("error", err.Error()))
+				}
+			}(*pprofAddr)
 		}
 		return runMonitor(net, reg, *monitor, *probes, *degrade)
 	}

@@ -4,6 +4,12 @@
 // public endpoint. Storage is backed by a directory, so data survives
 // restarts.
 //
+// Observability endpoints live beside the object API: /metrics exposes
+// per-op counters and latency histograms, /debug/traces the most recent
+// request traces (both stay reachable even when -token locks the object
+// paths down), and -pprof-addr serves the Go profiler on a separate
+// listener.
+//
 // Usage:
 //
 //	nsdf-store -addr :9000 -root ./objects -token secret
@@ -12,12 +18,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"time"
 
 	"nsdfgo/internal/storage"
 	"nsdfgo/internal/telemetry"
+	"nsdfgo/internal/telemetry/trace"
 )
 
 func main() {
@@ -32,22 +40,67 @@ func run() error {
 	root := flag.String("root", "./objects", "object storage directory")
 	token := flag.String("token", "", "bearer token; empty serves a public store")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline bounding store I/O (0 disables)")
+	slowRequest := flag.Duration("slow-request", time.Second, "log a structured span summary for requests at least this slow (0 disables)")
+	logFormat := flag.String("log-format", telemetry.LogFormatText, "log encoding: text or json")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
+	traceBuffer := flag.Int("trace-buffer", trace.DefaultCapacity, "completed traces retained for /debug/traces")
 	flag.Parse()
 
-	store, err := storage.NewFileStore(*root)
+	logger, err := telemetry.NewLogger(os.Stderr, *logFormat)
 	if err != nil {
 		return err
 	}
+	telemetry.SetLogger(logger)
+
+	fileStore, err := storage.NewFileStore(*root)
+	if err != nil {
+		return err
+	}
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterRuntimeMetrics(reg)
+	traces := trace.NewCollector(*traceBuffer)
+	store := storage.NewInstrumented(fileStore, reg, "file")
+
+	// Observability endpoints mount on the mux ahead of the object server
+	// so they stay reachable (and unauthenticated) even with -token set.
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/traces", traces.Handler())
+	mux.Handle("/", telemetry.WithRequestTimeout(storage.NewServer(store, *token), *requestTimeout))
+
 	mode := "public"
 	if *token != "" {
-		mode = "private (token auth)"
+		mode = "private"
 	}
-	fmt.Printf("object store listening on %s, root %s, %s\n", *addr, *root, mode)
+	if *pprofAddr != "" {
+		go servePprof(logger, *pprofAddr)
+	}
+	logger.Info("object store listening",
+		slog.String("addr", *addr),
+		slog.String("root", *root),
+		slog.String("mode", mode),
+		slog.String("metrics", "/metrics"),
+		slog.String("traces", "/debug/traces"))
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           telemetry.WithRequestTimeout(storage.NewServer(store, *token), *requestTimeout),
+		Addr: *addr,
+		Handler: telemetry.WithTracing(mux, traces,
+			telemetry.TracingOptions{Service: "store", SlowRequest: *slowRequest, Logger: logger}),
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
 	return srv.ListenAndServe()
+}
+
+// servePprof runs the opt-in profiling listener, separate from the data
+// port so the profiler is never exposed to object-store clients.
+func servePprof(logger *slog.Logger, addr string) {
+	logger.Info("pprof listening", slog.String("addr", addr), slog.String("path", "/debug/pprof/"))
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           telemetry.PprofMux(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		logger.Error("pprof server failed", slog.String("error", err.Error()))
+	}
 }

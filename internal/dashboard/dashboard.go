@@ -27,6 +27,7 @@ import (
 	"nsdfgo/internal/query"
 	"nsdfgo/internal/raster"
 	"nsdfgo/internal/telemetry"
+	"nsdfgo/internal/telemetry/trace"
 )
 
 // Server is the dashboard HTTP service. Register datasets, then serve.
@@ -35,6 +36,7 @@ type Server struct {
 	engines map[string]*query.Engine
 	reg     *telemetry.Registry
 	tel     *telemetry.HTTPMetrics
+	traces  *trace.Collector
 }
 
 // NewServer returns an empty dashboard.
@@ -55,6 +57,16 @@ func (s *Server) EnableTelemetry(reg *telemetry.Registry) {
 	for name, e := range s.engines {
 		e.Instrument(reg, name)
 	}
+}
+
+// EnableTracing serves the collector's retained request traces at
+// /debug/traces. The collector itself is wired into requests by the
+// telemetry.WithTracing middleware the cmd server wraps around this
+// handler; the dashboard only exposes the viewing endpoint.
+func (s *Server) EnableTracing(col *trace.Collector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.traces = col
 }
 
 // Register adds a dataset under the given display name (the dropdown
@@ -133,8 +145,12 @@ func (s *Server) Datasets() []DatasetInfo {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
-	reg, tel := s.reg, s.tel
+	reg, tel, traces := s.reg, s.tel, s.traces
 	s.mu.RUnlock()
+	if traces != nil && r.URL.Path == "/debug/traces" {
+		traces.Handler().ServeHTTP(w, r)
+		return
+	}
 	if tel == nil {
 		s.route(w, r)
 		return

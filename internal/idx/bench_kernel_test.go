@@ -78,7 +78,7 @@ func readBoxPerSample(d *Dataset, field string, t int, box Box, level int) (*ras
 	}
 	sort.Ints(misses)
 	for _, b := range misses {
-		raw, n, err := d.fetchBlock(context.Background(), field, t, b, codec, rawBlockLen)
+		raw, n, err := d.fetchBlock(context.Background(), field, t, b, codec, rawBlockLen, nil)
 		if err != nil {
 			return nil, nil, err
 		}

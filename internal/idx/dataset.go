@@ -26,6 +26,7 @@ import (
 	"nsdfgo/internal/compress"
 	"nsdfgo/internal/hz"
 	"nsdfgo/internal/raster"
+	"nsdfgo/internal/telemetry/trace"
 )
 
 // Dataset is an IDX dataset bound to a Backend.
@@ -38,6 +39,7 @@ type Dataset struct {
 	parallelism      int
 	writeParallelism int
 	tel              *dsMetrics
+	name             string
 
 	// keyMu guards keyCache, the lazily built per-(field,timestep) table
 	// of block object names (see blockKeys).
@@ -168,18 +170,38 @@ func (d *Dataset) readErr(err error) error {
 
 // fetchBlock gets one block from the backend, decodes it, and offers it
 // to the cache. It returns the decoded payload and the compressed size.
-func (d *Dataset) fetchBlock(ctx context.Context, field string, t, b int, codec compress.Codec, rawBlockLen int) ([]byte, int64, error) {
-	return d.fetchBlockKey(ctx, d.BlockKey(field, t, b), b, codec, rawBlockLen)
+// sc, when non-nil, accumulates the fetch and decode stage times (and,
+// when the request is traced, records a per-block storage.get span).
+func (d *Dataset) fetchBlock(ctx context.Context, field string, t, b int, codec compress.Codec, rawBlockLen int, sc *stageClock) ([]byte, int64, error) {
+	return d.fetchBlockKey(ctx, d.BlockKey(field, t, b), b, codec, rawBlockLen, sc)
 }
 
 // fetchBlockKey is fetchBlock with the object name precomputed, so hot
 // paths holding a blockKeys table skip the formatting.
-func (d *Dataset) fetchBlockKey(ctx context.Context, key string, b int, codec compress.Codec, rawBlockLen int) ([]byte, int64, error) {
+func (d *Dataset) fetchBlockKey(ctx context.Context, key string, b int, codec compress.Codec, rawBlockLen int, sc *stageClock) ([]byte, int64, error) {
+	var t0 time.Time
+	if sc != nil {
+		t0 = time.Now()
+	}
 	enc, err := d.be.Get(ctx, key)
+	var t1 time.Time
+	if sc != nil {
+		t1 = time.Now()
+		sc.fetchNS.Add(int64(t1.Sub(t0)))
+		if sc.traced {
+			trace.Record(ctx, "storage.get", t0, t1,
+				trace.Str("dataset", d.name),
+				trace.Int("block", int64(b)),
+				trace.Int("bytes", int64(len(enc))))
+		}
+	}
 	if err != nil {
 		return nil, 0, fmt.Errorf("idx: block %d: %w", b, err)
 	}
 	raw, err := codec.Decode(enc, rawBlockLen)
+	if sc != nil {
+		sc.decodeNS.Add(int64(time.Since(t1)))
+	}
 	if err != nil {
 		return nil, 0, fmt.Errorf("idx: decode block %d: %w", b, err)
 	}
@@ -245,12 +267,31 @@ func (d *Dataset) WriteGrid(ctx context.Context, field string, t int, g *raster.
 			d.tel.writeSeconds.ObserveSince(start)
 		}
 	}()
+	ctx, span := trace.Start(ctx, "idx.write",
+		trace.Str("dataset", d.name),
+		trace.Str("field", field),
+		trace.Int("blocks", int64(numBlocks)))
+	defer span.End()
+	sc := d.newStageClock(span != nil)
 
 	// Plan: decompose the full-resolution grid into HZ runs grouped by
 	// block. Each run gathers a strided span of the row-major grid into a
 	// contiguous span of a block, replacing the old per-sample
 	// HZToZ+Deinterleave walk over every block slot.
+	var planStart time.Time
+	if sc != nil {
+		planStart = time.Now()
+	}
 	runs, spans := d.planRuns(hz.RunQuery{NX: w, NY: h, Level: mask.Bits(), OutW: w})
+	if sc != nil {
+		planEnd := time.Now()
+		d.observePlan(planEnd.Sub(planStart))
+		if sc.traced {
+			trace.Record(ctx, "idx.plan", planStart, planEnd,
+				trace.Str("dataset", d.name),
+				trace.Int("runs", int64(len(runs))))
+		}
+	}
 	// spanAt[b] indexes spans for block b, or -1 when no grid sample maps
 	// into the block (pure padding).
 	spanAt := make([]int, numBlocks)
@@ -316,6 +357,10 @@ func (d *Dataset) WriteGrid(ctx context.Context, field string, t int, g *raster.
 				if b >= numBlocks {
 					return
 				}
+				var encStart time.Time
+				if sc != nil {
+					encStart = time.Now()
+				}
 				enc := fillEnc
 				if si := spanAt[b]; si >= 0 {
 					sp := spans[si]
@@ -349,10 +394,25 @@ func (d *Dataset) WriteGrid(ctx context.Context, field string, t int, g *raster.
 						return
 					}
 				}
+				var putStart time.Time
+				if sc != nil {
+					putStart = time.Now()
+					sc.encodeNS.Add(int64(putStart.Sub(encStart)))
+				}
 				if err := d.be.Put(ctx, blockKey(b), enc); err != nil {
 					aborted.Store(true)
 					errCh <- fmt.Errorf("idx: store block %d: %w", b, err)
 					return
+				}
+				if sc != nil {
+					putEnd := time.Now()
+					sc.storeNS.Add(int64(putEnd.Sub(putStart)))
+					if sc.traced {
+						trace.Record(ctx, "storage.put", putStart, putEnd,
+							trace.Str("dataset", d.name),
+							trace.Int("block", int64(b)),
+							trace.Int("bytes", int64(len(enc))))
+					}
 				}
 				d.recordBlockWrite(len(enc))
 			}
@@ -363,6 +423,16 @@ func (d *Dataset) WriteGrid(ctx context.Context, field string, t int, g *raster.
 	for err := range errCh {
 		if err != nil {
 			return err
+		}
+	}
+	if sc != nil {
+		d.observeWriteStages(sc)
+		if sc.traced {
+			end := time.Now()
+			trace.RecordDuration(ctx, "idx.encode", end, sc.encode(),
+				trace.Str("dataset", d.name))
+			trace.RecordDuration(ctx, "idx.store", end, sc.store(),
+				trace.Str("dataset", d.name))
 		}
 	}
 	return nil
@@ -449,6 +519,12 @@ func (d *Dataset) ReadBox(ctx context.Context, field string, t int, box Box, lev
 	if err != nil {
 		return nil, nil, err
 	}
+	ctx, span := trace.Start(ctx, "idx.read",
+		trace.Str("dataset", d.name),
+		trace.Str("field", field),
+		trace.Int("level", int64(level)))
+	defer span.End()
+	sc := d.newStageClock(span != nil)
 	mask := d.Meta.Bits
 	strides := mask.LevelStrides(level)
 	sx, sy := strides[0], strides[1]
@@ -471,10 +547,24 @@ func (d *Dataset) ReadBox(ctx context.Context, field string, t int, box Box, lev
 	// addresses grouped by block (per-run cost, not per-sample), instead
 	// of interleaving every output sample and collecting map-backed block
 	// sets.
+	var planStart time.Time
+	if sc != nil {
+		planStart = time.Now()
+	}
 	runs, spans := d.planRuns(hz.RunQuery{
 		X0: ax0, Y0: ay0, NX: ow, NY: oh, Level: level, OutW: ow,
 	})
 	stats.Runs = len(runs)
+	if sc != nil {
+		planEnd := time.Now()
+		d.observePlan(planEnd.Sub(planStart))
+		if sc.traced {
+			trace.Record(ctx, "idx.plan", planStart, planEnd,
+				trace.Str("dataset", d.name),
+				trace.Int("runs", int64(len(runs))),
+				trace.Int("blocks", int64(len(spans))))
+		}
+	}
 	keys := d.blockKeys(field, t)
 	blockKey := func(b int) string {
 		if keys != nil {
@@ -489,6 +579,14 @@ func (d *Dataset) ReadBox(ctx context.Context, field string, t int, box Box, lev
 		for _, r := range runs[sp.lo:sp.hi] {
 			off := int(r.HZ&uint64(blockSamples-1)) * sz
 			f.Type.decodeInto(out.Data[r.Out:], int(r.OutStep), raw[off:], int(r.N))
+		}
+	}
+	if sc != nil {
+		inner := assemble
+		assemble = func(raw []byte, sp blockSpan) {
+			t0 := time.Now()
+			inner(raw, sp)
+			sc.assembleNS.Add(int64(time.Since(t0)))
 		}
 	}
 
@@ -518,7 +616,7 @@ func (d *Dataset) ReadBox(ctx context.Context, field string, t int, box Box, lev
 			if err := ctx.Err(); err != nil {
 				return nil, nil, d.readErr(err)
 			}
-			raw, n, err := d.fetchBlockKey(ctx, blockKey(sp.block), sp.block, codec, rawBlockLen)
+			raw, n, err := d.fetchBlockKey(ctx, blockKey(sp.block), sp.block, codec, rawBlockLen, sc)
 			if err != nil {
 				return nil, nil, d.readErr(err)
 			}
@@ -526,7 +624,7 @@ func (d *Dataset) ReadBox(ctx context.Context, field string, t int, box Box, lev
 			stats.BytesRead += n
 			assemble(raw, sp)
 		}
-	} else if err := d.fetchSpans(ctx, miss, workers, blockKey, codec, rawBlockLen, stats, assemble); err != nil {
+	} else if err := d.fetchSpans(ctx, miss, workers, blockKey, codec, rawBlockLen, stats, assemble, sc); err != nil {
 		return nil, nil, d.readErr(err)
 	}
 
@@ -536,6 +634,24 @@ func (d *Dataset) ReadBox(ctx context.Context, field string, t int, box Box, lev
 			OriginY: d.Meta.Geo.OriginY - float64(ay0)*d.Meta.Geo.PixelH,
 			PixelW:  d.Meta.Geo.PixelW * float64(sx),
 			PixelH:  d.Meta.Geo.PixelH * float64(sy),
+		}
+	}
+	if sc != nil {
+		d.observeReadStages(sc)
+		if sc.traced {
+			end := time.Now()
+			trace.RecordDuration(ctx, "idx.fetch", end, sc.fetch(),
+				trace.Str("dataset", d.name),
+				trace.Int("blocks", int64(stats.BlocksRead)),
+				trace.Int("bytes", stats.BytesRead))
+			trace.RecordDuration(ctx, "idx.decode", end, sc.decode(),
+				trace.Str("dataset", d.name))
+			trace.RecordDuration(ctx, "idx.assemble", end, sc.assemble(),
+				trace.Str("dataset", d.name))
+			span.SetAttr(
+				trace.Int("blocks_read", int64(stats.BlocksRead)),
+				trace.Int("blocks_cached", int64(stats.BlocksCached)),
+				trace.Int("runs", int64(stats.Runs)))
 		}
 	}
 	d.recordRead(stats)
@@ -551,7 +667,7 @@ func (d *Dataset) ReadBox(ctx context.Context, field string, t int, box Box, lev
 // returns, so a cancelled read leaks no goroutines.
 func (d *Dataset) fetchSpans(ctx context.Context, miss []blockSpan, workers int,
 	blockKey func(int) string, codec compress.Codec, rawBlockLen int,
-	stats *ReadStats, assemble func([]byte, blockSpan)) error {
+	stats *ReadStats, assemble func([]byte, blockSpan), sc *stageClock) error {
 	type fetched struct {
 		sp  blockSpan
 		raw []byte
@@ -566,7 +682,7 @@ func (d *Dataset) fetchSpans(ctx context.Context, miss []blockSpan, workers int,
 		go func() {
 			defer wg.Done()
 			for sp := range work {
-				raw, n, err := d.fetchBlockKey(ctx, blockKey(sp.block), sp.block, codec, rawBlockLen)
+				raw, n, err := d.fetchBlockKey(ctx, blockKey(sp.block), sp.block, codec, rawBlockLen, sc)
 				select {
 				case results <- fetched{sp: sp, raw: raw, n: n, err: err}:
 				case <-ctx.Done():

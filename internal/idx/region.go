@@ -3,10 +3,12 @@ package idx
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"nsdfgo/internal/compress"
 	"nsdfgo/internal/hz"
 	"nsdfgo/internal/raster"
+	"nsdfgo/internal/telemetry/trace"
 )
 
 // WriteRegion updates the rectangular region anchored at (x0,y0) with the
@@ -40,6 +42,11 @@ func (d *Dataset) WriteRegion(ctx context.Context, field string, t int, x0, y0 i
 	if err != nil {
 		return err
 	}
+	ctx, span := trace.Start(ctx, "idx.write_region",
+		trace.Str("dataset", d.name),
+		trace.Str("field", field))
+	defer span.End()
+	sc := d.newStageClock(span != nil)
 	mask := d.Meta.Bits
 	blockSamples := d.Meta.BlockSamples()
 	sz := f.Type.Size()
@@ -68,7 +75,20 @@ func (d *Dataset) WriteRegion(ctx context.Context, field string, t int, x0, y0 i
 			key = d.BlockKey(field, t, b)
 		}
 		var raw []byte
+		var getStart time.Time
+		if sc != nil {
+			getStart = time.Now()
+		}
 		enc, err := d.be.Get(ctx, key)
+		if sc != nil {
+			getEnd := time.Now()
+			sc.fetchNS.Add(int64(getEnd.Sub(getStart)))
+			if sc.traced {
+				trace.Record(ctx, "storage.get", getStart, getEnd,
+					trace.Str("dataset", d.name),
+					trace.Int("block", int64(b)))
+			}
+		}
 		switch {
 		case err == nil:
 			raw, err = codec.Decode(enc, rawBlockLen)
@@ -95,8 +115,22 @@ func (d *Dataset) WriteRegion(ctx context.Context, field string, t int, x0, y0 i
 		if err != nil {
 			return fmt.Errorf("idx: encode block %d: %w", b, err)
 		}
+		var putStart time.Time
+		if sc != nil {
+			putStart = time.Now()
+		}
 		if err := d.be.Put(ctx, key, encOut); err != nil {
 			return fmt.Errorf("idx: store block %d: %w", b, err)
+		}
+		if sc != nil {
+			putEnd := time.Now()
+			sc.storeNS.Add(int64(putEnd.Sub(putStart)))
+			if sc.traced {
+				trace.Record(ctx, "storage.put", putStart, putEnd,
+					trace.Str("dataset", d.name),
+					trace.Int("block", int64(b)),
+					trace.Int("bytes", int64(len(encOut))))
+			}
 		}
 		if d.cache != nil {
 			// Invalidate/refresh: offer the updated payload.

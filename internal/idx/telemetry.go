@@ -1,6 +1,8 @@
 package idx
 
 import (
+	"time"
+
 	"nsdfgo/internal/telemetry"
 )
 
@@ -16,6 +18,13 @@ type dsMetrics struct {
 	readsCancelled *telemetry.Counter
 	readSeconds    *telemetry.Histogram
 	writeSeconds   *telemetry.Histogram
+
+	stagePlan     *telemetry.Histogram
+	stageFetch    *telemetry.Histogram
+	stageDecode   *telemetry.Histogram
+	stageAssemble *telemetry.Histogram
+	stageEncode   *telemetry.Histogram
+	stageStore    *telemetry.Histogram
 }
 
 // SetTelemetry attaches a metrics registry to the dataset, labelling its
@@ -30,7 +39,18 @@ type dsMetrics struct {
 //	nsdf_idx_reads_cancelled_total{dataset} reads aborted by context cancellation/deadline
 //	nsdf_idx_read_seconds{dataset}          ReadBox/ReadBox3D latency
 //	nsdf_idx_write_seconds{dataset}         WriteGrid/WriteVolume latency
+//	nsdf_idx_stage_seconds{stage,dataset}   per-stage pipeline time; stage is
+//	                                        plan/fetch/decode/assemble on reads
+//	                                        and plan/encode/store on writes.
+//	                                        Fetch/decode/assemble/encode/store
+//	                                        are busy time summed across the
+//	                                        worker pool, so they can exceed the
+//	                                        call's wall time.
+//
+// The dataset name also labels the spans the dataset records into an
+// active request trace (see internal/telemetry/trace).
 func (d *Dataset) SetTelemetry(reg *telemetry.Registry, dataset string) {
+	d.name = dataset
 	if reg == nil {
 		d.tel = nil
 		return
@@ -45,7 +65,42 @@ func (d *Dataset) SetTelemetry(reg *telemetry.Registry, dataset string) {
 		readsCancelled: reg.Counter("nsdf_idx_reads_cancelled_total", "dataset", dataset),
 		readSeconds:    reg.Histogram("nsdf_idx_read_seconds", "dataset", dataset),
 		writeSeconds:   reg.Histogram("nsdf_idx_write_seconds", "dataset", dataset),
+
+		stagePlan:     reg.Histogram("nsdf_idx_stage_seconds", "stage", "plan", "dataset", dataset),
+		stageFetch:    reg.Histogram("nsdf_idx_stage_seconds", "stage", "fetch", "dataset", dataset),
+		stageDecode:   reg.Histogram("nsdf_idx_stage_seconds", "stage", "decode", "dataset", dataset),
+		stageAssemble: reg.Histogram("nsdf_idx_stage_seconds", "stage", "assemble", "dataset", dataset),
+		stageEncode:   reg.Histogram("nsdf_idx_stage_seconds", "stage", "encode", "dataset", dataset),
+		stageStore:    reg.Histogram("nsdf_idx_stage_seconds", "stage", "store", "dataset", dataset),
 	}
+}
+
+// observePlan books one planning pass into the stage histogram.
+func (d *Dataset) observePlan(dur time.Duration) {
+	if t := d.tel; t != nil {
+		t.stagePlan.Observe(dur.Seconds())
+	}
+}
+
+// observeReadStages books a read's accumulated stage times.
+func (d *Dataset) observeReadStages(sc *stageClock) {
+	t := d.tel
+	if t == nil {
+		return
+	}
+	t.stageFetch.Observe(sc.fetch().Seconds())
+	t.stageDecode.Observe(sc.decode().Seconds())
+	t.stageAssemble.Observe(sc.assemble().Seconds())
+}
+
+// observeWriteStages books a write's accumulated stage times.
+func (d *Dataset) observeWriteStages(sc *stageClock) {
+	t := d.tel
+	if t == nil {
+		return
+	}
+	t.stageEncode.Observe(sc.encode().Seconds())
+	t.stageStore.Observe(sc.store().Seconds())
 }
 
 // recordRead books one finished box read into the dataset's telemetry.

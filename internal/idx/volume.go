@@ -10,6 +10,7 @@ import (
 
 	"nsdfgo/internal/compress"
 	"nsdfgo/internal/hz"
+	"nsdfgo/internal/telemetry/trace"
 )
 
 // The IDX format is n-dimensional; OpenVisus routinely serves 3D and 4D
@@ -82,6 +83,12 @@ func (d *Dataset) WriteVolume(ctx context.Context, field string, t int, data []f
 			d.tel.writeSeconds.ObserveSince(start)
 		}
 	}()
+	ctx, span := trace.Start(ctx, "idx.write3d",
+		trace.Str("dataset", d.name),
+		trace.Str("field", field),
+		trace.Int("blocks", int64(numBlocks)))
+	defer span.End()
+	sc := d.newStageClock(span != nil)
 
 	// The aborted flag mirrors WriteGrid's early abort: one worker's
 	// encode/store failure stops the others at their next block claim.
@@ -109,6 +116,10 @@ func (d *Dataset) WriteVolume(ctx context.Context, field string, t int, data []f
 				if b >= numBlocks {
 					return
 				}
+				var encStart time.Time
+				if sc != nil {
+					encStart = time.Now()
+				}
 				hz0 := uint64(b) << d.Meta.BitsPerBlock
 				for i := 0; i < blockSamples; i++ {
 					hzAddr := hz0 + uint64(i)
@@ -127,10 +138,25 @@ func (d *Dataset) WriteVolume(ctx context.Context, field string, t int, data []f
 					errCh <- fmt.Errorf("idx: encode block %d: %w", b, err)
 					return
 				}
+				var putStart time.Time
+				if sc != nil {
+					putStart = time.Now()
+					sc.encodeNS.Add(int64(putStart.Sub(encStart)))
+				}
 				if err := d.be.Put(ctx, d.BlockKey(field, t, b), enc); err != nil {
 					aborted.Store(true)
 					errCh <- fmt.Errorf("idx: store block %d: %w", b, err)
 					return
+				}
+				if sc != nil {
+					putEnd := time.Now()
+					sc.storeNS.Add(int64(putEnd.Sub(putStart)))
+					if sc.traced {
+						trace.Record(ctx, "storage.put", putStart, putEnd,
+							trace.Str("dataset", d.name),
+							trace.Int("block", int64(b)),
+							trace.Int("bytes", int64(len(enc))))
+					}
 				}
 				d.recordBlockWrite(len(enc))
 			}
@@ -141,6 +167,16 @@ func (d *Dataset) WriteVolume(ctx context.Context, field string, t int, data []f
 	for err := range errCh {
 		if err != nil {
 			return err
+		}
+	}
+	if sc != nil {
+		d.observeWriteStages(sc)
+		if sc.traced {
+			end := time.Now()
+			trace.RecordDuration(ctx, "idx.encode", end, sc.encode(),
+				trace.Str("dataset", d.name))
+			trace.RecordDuration(ctx, "idx.store", end, sc.store(),
+				trace.Str("dataset", d.name))
 		}
 	}
 	return nil
@@ -186,6 +222,12 @@ func (d *Dataset) ReadBox3D(ctx context.Context, field string, t int, box Box3, 
 	if err != nil {
 		return nil, nil, err
 	}
+	ctx, span := trace.Start(ctx, "idx.read3d",
+		trace.Str("dataset", d.name),
+		trace.Str("field", field),
+		trace.Int("level", int64(level)))
+	defer span.End()
+	sc := d.newStageClock(span != nil)
 	mask := d.Meta.Bits
 	strides := mask.LevelStrides(level)
 	align := func(lo, stride int) int { return (lo + stride - 1) / stride * stride }
@@ -212,6 +254,10 @@ func (d *Dataset) ReadBox3D(ctx context.Context, field string, t int, box Box3, 
 	// to HZ. The block set stays map-backed — 3D reads are not yet on the
 	// run-based streaming pipeline — but consecutive duplicates are
 	// skipped before touching the map.
+	var planStart time.Time
+	if sc != nil {
+		planStart = time.Now()
+	}
 	addrs := make([]uint64, total)
 	rowZ := make([]uint64, dims[0])
 	needSet := map[int]bool{}
@@ -237,6 +283,16 @@ func (d *Dataset) ReadBox3D(ctx context.Context, field string, t int, box Box3, 
 		}
 	}
 
+	if sc != nil {
+		planEnd := time.Now()
+		d.observePlan(planEnd.Sub(planStart))
+		if sc.traced {
+			trace.Record(ctx, "idx.plan", planStart, planEnd,
+				trace.Str("dataset", d.name),
+				trace.Int("blocks", int64(len(needSet))))
+		}
+	}
+
 	// Fetch (cache first, then backend; serial is fine here — the 2D path
 	// demonstrates the parallel fetch, and both share fetchBlock).
 	blocks := make(map[int][]byte, len(needSet))
@@ -256,7 +312,7 @@ func (d *Dataset) ReadBox3D(ctx context.Context, field string, t int, box Box3, 
 		if err := ctx.Err(); err != nil {
 			return nil, nil, d.readErr(err)
 		}
-		raw, n, err := d.fetchBlock(ctx, field, t, b, codec, rawBlockLen)
+		raw, n, err := d.fetchBlock(ctx, field, t, b, codec, rawBlockLen, sc)
 		if err != nil {
 			return nil, nil, d.readErr(err)
 		}
@@ -266,10 +322,29 @@ func (d *Dataset) ReadBox3D(ctx context.Context, field string, t int, box Box3, 
 	}
 
 	// Assemble.
+	var asmStart time.Time
+	if sc != nil {
+		asmStart = time.Now()
+	}
 	for i, hzAddr := range addrs {
 		raw := blocks[int(hzAddr>>d.Meta.BitsPerBlock)]
 		off := int(hzAddr&uint64(blockSamples-1)) * sz
 		out.Data[i] = f.Type.getSample(raw[off:])
+	}
+	if sc != nil {
+		sc.assembleNS.Add(int64(time.Since(asmStart)))
+		d.observeReadStages(sc)
+		if sc.traced {
+			end := time.Now()
+			trace.RecordDuration(ctx, "idx.fetch", end, sc.fetch(),
+				trace.Str("dataset", d.name),
+				trace.Int("blocks", int64(stats.BlocksRead)),
+				trace.Int("bytes", stats.BytesRead))
+			trace.RecordDuration(ctx, "idx.decode", end, sc.decode(),
+				trace.Str("dataset", d.name))
+			trace.RecordDuration(ctx, "idx.assemble", end, sc.assemble(),
+				trace.Str("dataset", d.name))
+		}
 	}
 	d.recordRead(stats)
 	if d.tel != nil {

@@ -1,9 +1,10 @@
-// Package lint is the repo's own static-analysis suite: six analyzers
+// Package lint is the repo's own static-analysis suite: seven analyzers
 // that machine-check the conventions the serving stack depends on —
 // nsdf_-prefixed constant metric names, no silently dropped storage/IDX
 // errors, an allocation-free hot path, sound mutex usage, abortable
-// worker goroutines, and caller-threaded contexts (no
-// context.Background() in library code). It is built only on go/ast, go/parser, go/types,
+// worker goroutines, caller-threaded contexts (no context.Background()
+// in library code), and spans that are always ended (spanend).
+// It is built only on go/ast, go/parser, go/types,
 // and go/importer, so `make lint` needs nothing beyond the Go toolchain.
 //
 // A finding can be suppressed — sparingly, with a reason — by an allow
@@ -51,6 +52,9 @@ type Config struct {
 	ErrScopePackages []string
 	// HotPackages lists import paths whose loops hotalloc polices.
 	HotPackages []string
+	// TracePackage is the import path of the span tracer whose Start*
+	// results spanend requires to be ended.
+	TracePackage string
 }
 
 // DefaultConfig returns the configuration for this repository.
@@ -73,6 +77,7 @@ func DefaultConfig() *Config {
 			"nsdfgo/internal/idx", "nsdfgo/internal/hz", "nsdfgo/internal/cache",
 			"nsdfgo/internal/lint/testdata/src/hotalloc",
 		},
+		TracePackage: "nsdfgo/internal/telemetry/trace",
 	}
 }
 
@@ -119,6 +124,7 @@ func Analyzers() []*Analyzer {
 		LockCopyAnalyzer,
 		GoLeakAnalyzer,
 		CtxBackgroundAnalyzer,
+		SpanEndAnalyzer,
 	}
 }
 

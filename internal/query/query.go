@@ -15,6 +15,7 @@ import (
 	"nsdfgo/internal/idx"
 	"nsdfgo/internal/raster"
 	"nsdfgo/internal/telemetry"
+	"nsdfgo/internal/telemetry/trace"
 )
 
 // Request describes what the caller wants, independent of storage layout.
@@ -70,6 +71,7 @@ type Engine struct {
 	ds      *idx.Dataset
 	cache   *cache.LRU
 	tracker *AccessTracker
+	name    string
 }
 
 // New wraps a dataset with a block cache of cacheBytes (0 disables
@@ -93,8 +95,11 @@ func (e *Engine) CacheStats() cache.Stats { return e.cache.Stats() }
 
 // Instrument wires the engine's dataset and block cache into a telemetry
 // registry, labelling both with the given dataset name. See
-// idx.Dataset.SetTelemetry and cache.LRU.Instrument for the series.
+// idx.Dataset.SetTelemetry and cache.LRU.Instrument for the series. The
+// name also labels the spans the engine records into active request
+// traces.
 func (e *Engine) Instrument(reg *telemetry.Registry, name string) {
+	e.name = name
 	e.ds.SetTelemetry(reg, name)
 	e.cache.Instrument(reg, name)
 }
@@ -164,6 +169,11 @@ func (e *Engine) Read(ctx context.Context, req Request) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	ctx, span := trace.Start(ctx, "query.read",
+		trace.Str("dataset", e.name),
+		trace.Str("field", req.Field),
+		trace.Int("level", int64(req.Level)))
+	defer span.End()
 	if e.tracker != nil && !req.noTrack {
 		e.tracker.record(req.Box)
 	}
@@ -203,6 +213,11 @@ func (e *Engine) Progressive(ctx context.Context, req Request, startLevel, step 
 	if err != nil {
 		return err
 	}
+	ctx, span := trace.Start(ctx, "query.progressive",
+		trace.Str("dataset", e.name),
+		trace.Str("field", req.Field),
+		trace.Int("level", int64(req.Level)))
+	defer span.End()
 	if step < 1 {
 		step = 2
 	}
@@ -246,6 +261,11 @@ func (e *Engine) ProbePoint(ctx context.Context, field string, x, y int) ([]floa
 	if x < 0 || y < 0 || x >= meta.Dims[0] || y >= meta.Dims[1] {
 		return nil, fmt.Errorf("query: probe point (%d,%d) outside %dx%d", x, y, meta.Dims[0], meta.Dims[1])
 	}
+	ctx, span := trace.Start(ctx, "query.probe",
+		trace.Str("dataset", e.name),
+		trace.Str("field", field),
+		trace.Int("timesteps", int64(meta.Timesteps)))
+	defer span.End()
 	out := make([]float32, meta.Timesteps)
 	box := idx.Box{X0: x, Y0: y, X1: x + 1, Y1: y + 1}
 	for t := 0; t < meta.Timesteps; t++ {

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"nsdfgo/internal/idx"
+	"nsdfgo/internal/telemetry/trace"
 )
 
 // AccessTracker implements the access-pattern analysis §III-A attributes
@@ -126,6 +127,11 @@ func (e *Engine) Prefetch(ctx context.Context, field string, t, level int) (idx.
 	if !ok {
 		return idx.Box{}, idx.ReadStats{}, nil
 	}
+	ctx, span := trace.Start(ctx, "query.prefetch",
+		trace.Str("dataset", e.name),
+		trace.Str("field", field),
+		trace.Int("level", int64(level)))
+	defer span.End()
 	res, err := e.Read(ctx, Request{Field: field, Time: t, Box: hot, Level: level, noTrack: true})
 	if err != nil {
 		return hot, idx.ReadStats{}, fmt.Errorf("query: prefetch: %w", err)

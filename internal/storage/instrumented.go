@@ -6,11 +6,15 @@ import (
 	"time"
 
 	"nsdfgo/internal/telemetry"
+	"nsdfgo/internal/telemetry/trace"
 )
 
 // Instrumented wraps a Store and records per-operation telemetry: op and
 // error counts, payload bytes by direction, and an operation latency
-// histogram, all labelled with a backend name. Layer it outermost so the
+// histogram, all labelled with a backend name. When the request context
+// carries an active trace, each operation additionally records a
+// storage.<op> span annotated with the backend label, so /debug/traces
+// shows exactly which store the time went to. Layer it outermost so the
 // histogram captures the full cost (retries, simulated WAN delay, the
 // store itself):
 //
@@ -18,13 +22,24 @@ import (
 //	    storage.NewRetry(storage.NewConditioned(inner, profile, seed), 3, 0),
 //	    reg, "seal")
 type Instrumented struct {
-	inner Store
+	inner   Store
+	backend string
 
 	ops  map[string]*telemetry.Counter
 	errs map[string]*telemetry.Counter
 	up   *telemetry.Counter
 	down *telemetry.Counter
 	lat  *telemetry.Histogram
+}
+
+// instrumentedSpanNames maps each op to a constant span name, so the
+// per-op trace records allocate no strings.
+var instrumentedSpanNames = map[string]string{
+	"get":    "storage.get",
+	"put":    "storage.put",
+	"delete": "storage.delete",
+	"stat":   "storage.stat",
+	"list":   "storage.list",
 }
 
 // instrumentedOps are the Store operations tracked per backend.
@@ -34,7 +49,8 @@ var instrumentedOps = []string{"get", "put", "delete", "stat", "list"}
 // backend label in reg.
 func NewInstrumented(inner Store, reg *telemetry.Registry, backend string) *Instrumented {
 	in := &Instrumented{
-		inner: inner,
+		inner:   inner,
+		backend: backend,
 		ops:   make(map[string]*telemetry.Counter, len(instrumentedOps)),
 		errs:  make(map[string]*telemetry.Counter, len(instrumentedOps)),
 		up:    reg.Counter("nsdf_storage_bytes_total", "backend", backend, "direction", "up"),
@@ -51,11 +67,15 @@ func NewInstrumented(inner Store, reg *telemetry.Registry, backend string) *Inst
 // record books one finished operation. Missing objects are an expected
 // outcome of Get/Stat probes, not a backend failure, so ErrNotExist does
 // not count as an error.
-func (in *Instrumented) record(op string, start time.Time, err error) {
+func (in *Instrumented) record(ctx context.Context, op string, start time.Time, err error) {
 	in.ops[op].Inc()
 	in.lat.ObserveSince(start)
 	if err != nil && !errors.Is(err, ErrNotExist) {
 		in.errs[op].Inc()
+	}
+	if trace.Active(ctx) {
+		trace.Record(ctx, instrumentedSpanNames[op], start, time.Now(),
+			trace.Str("backend", in.backend))
 	}
 }
 
@@ -63,7 +83,7 @@ func (in *Instrumented) record(op string, start time.Time, err error) {
 func (in *Instrumented) Put(ctx context.Context, key string, data []byte) error {
 	start := time.Now()
 	err := in.inner.Put(ctx, key, data)
-	in.record("put", start, err)
+	in.record(ctx, "put", start, err)
 	if err == nil {
 		in.up.Add(int64(len(data)))
 	}
@@ -74,7 +94,7 @@ func (in *Instrumented) Put(ctx context.Context, key string, data []byte) error 
 func (in *Instrumented) Get(ctx context.Context, key string) ([]byte, error) {
 	start := time.Now()
 	data, err := in.inner.Get(ctx, key)
-	in.record("get", start, err)
+	in.record(ctx, "get", start, err)
 	if err == nil {
 		in.down.Add(int64(len(data)))
 	}
@@ -85,7 +105,7 @@ func (in *Instrumented) Get(ctx context.Context, key string) ([]byte, error) {
 func (in *Instrumented) Delete(ctx context.Context, key string) error {
 	start := time.Now()
 	err := in.inner.Delete(ctx, key)
-	in.record("delete", start, err)
+	in.record(ctx, "delete", start, err)
 	return err
 }
 
@@ -93,7 +113,7 @@ func (in *Instrumented) Delete(ctx context.Context, key string) error {
 func (in *Instrumented) Stat(ctx context.Context, key string) (ObjectInfo, error) {
 	start := time.Now()
 	info, err := in.inner.Stat(ctx, key)
-	in.record("stat", start, err)
+	in.record(ctx, "stat", start, err)
 	return info, err
 }
 
@@ -101,6 +121,6 @@ func (in *Instrumented) Stat(ctx context.Context, key string) (ObjectInfo, error
 func (in *Instrumented) List(ctx context.Context, prefix string) ([]ObjectInfo, error) {
 	start := time.Now()
 	infos, err := in.inner.List(ctx, prefix)
-	in.record("list", start, err)
+	in.record(ctx, "list", start, err)
 	return infos, err
 }

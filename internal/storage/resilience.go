@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"nsdfgo/internal/telemetry"
+	"nsdfgo/internal/telemetry/trace"
 )
 
 // ErrTransient marks an injected or retryable failure.
@@ -146,9 +147,14 @@ func permanent(err error) bool {
 // do runs op with retries. ctx is consulted before every attempt — not
 // only inside the backoff sleep — so a cancelled caller never burns
 // remaining attempts against the inner store, even with BaseDelay == 0.
-func (r *Retry) do(ctx context.Context, op func() error) error {
+// When the context carries an active trace, every retry attempt (not the
+// first try, which the layers above already span) records a
+// storage.retry span carrying the operation name, attempt number, and
+// outcome — the trace-level view of a flaky wide-area store.
+func (r *Retry) do(ctx context.Context, op string, fn func() error) error {
 	var err error
 	delay := r.BaseDelay
+	traced := trace.Active(ctx)
 	for attempt := 0; attempt < r.Attempts; attempt++ {
 		if cerr := ctx.Err(); cerr != nil {
 			return cerr
@@ -172,7 +178,21 @@ func (r *Retry) do(ctx context.Context, op func() error) error {
 				delay *= 2
 			}
 		}
-		err = op()
+		var attemptStart time.Time
+		if traced && attempt > 0 {
+			attemptStart = time.Now()
+		}
+		err = fn()
+		if traced && attempt > 0 {
+			outcome := "error"
+			if err == nil {
+				outcome = "ok"
+			}
+			trace.Record(ctx, "storage.retry", attemptStart, time.Now(),
+				trace.Str("op", op),
+				trace.Int("attempt", int64(attempt+1)),
+				trace.Str("outcome", outcome))
+		}
 		if err == nil || permanent(err) {
 			return err
 		}
@@ -182,13 +202,13 @@ func (r *Retry) do(ctx context.Context, op func() error) error {
 
 // Put implements Store.
 func (r *Retry) Put(ctx context.Context, key string, data []byte) error {
-	return r.do(ctx, func() error { return r.inner.Put(ctx, key, data) })
+	return r.do(ctx, "put", func() error { return r.inner.Put(ctx, key, data) })
 }
 
 // Get implements Store.
 func (r *Retry) Get(ctx context.Context, key string) ([]byte, error) {
 	var out []byte
-	err := r.do(ctx, func() error {
+	err := r.do(ctx, "get", func() error {
 		var err error
 		out, err = r.inner.Get(ctx, key)
 		return err
@@ -198,13 +218,13 @@ func (r *Retry) Get(ctx context.Context, key string) ([]byte, error) {
 
 // Delete implements Store.
 func (r *Retry) Delete(ctx context.Context, key string) error {
-	return r.do(ctx, func() error { return r.inner.Delete(ctx, key) })
+	return r.do(ctx, "delete", func() error { return r.inner.Delete(ctx, key) })
 }
 
 // Stat implements Store.
 func (r *Retry) Stat(ctx context.Context, key string) (ObjectInfo, error) {
 	var out ObjectInfo
-	err := r.do(ctx, func() error {
+	err := r.do(ctx, "stat", func() error {
 		var err error
 		out, err = r.inner.Stat(ctx, key)
 		return err
@@ -215,7 +235,7 @@ func (r *Retry) Stat(ctx context.Context, key string) (ObjectInfo, error) {
 // List implements Store.
 func (r *Retry) List(ctx context.Context, prefix string) ([]ObjectInfo, error) {
 	var out []ObjectInfo
-	err := r.do(ctx, func() error {
+	err := r.do(ctx, "list", func() error {
 		var err error
 		out, err = r.inner.List(ctx, prefix)
 		return err

@@ -106,6 +106,11 @@ func (r *Registry) Handler() http.Handler {
 
 // StatusRecorder wraps a ResponseWriter to capture the status code for
 // request accounting. A handler that never calls WriteHeader is a 200.
+// The wrapper forwards the optional ResponseWriter capabilities the
+// serving stack relies on: Flush reaches the inner http.Flusher (so
+// wrapping middleware does not break streamed/progressive responses),
+// ReadFrom reaches the inner io.ReaderFrom (preserving sendfile-style
+// copies), and Unwrap lets http.ResponseController find both.
 type StatusRecorder struct {
 	http.ResponseWriter
 	// Code is the first status code written, defaulting to 200.
@@ -122,6 +127,30 @@ func (r *StatusRecorder) WriteHeader(code int) {
 	r.Code = code
 	r.ResponseWriter.WriteHeader(code)
 }
+
+// Flush implements http.Flusher by delegating to the wrapped writer.
+// When the inner writer cannot flush, this is a no-op — matching the
+// behaviour of an unwrapped non-flushing writer.
+func (r *StatusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// ReadFrom implements io.ReaderFrom: it delegates to the inner writer
+// when it supports the fast path, and falls back to a plain copy
+// otherwise. The fallback deliberately hides this method from io.Copy
+// (via the anonymous-struct wrapper) to avoid recursing into ReadFrom.
+func (r *StatusRecorder) ReadFrom(src io.Reader) (int64, error) {
+	if rf, ok := r.ResponseWriter.(io.ReaderFrom); ok {
+		return rf.ReadFrom(src)
+	}
+	return io.Copy(struct{ io.Writer }{r.ResponseWriter}, src)
+}
+
+// Unwrap exposes the inner writer to http.ResponseController, which
+// probes the whole wrapper chain for Flusher/Hijacker support.
+func (r *StatusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 // HTTPMetrics records per-route request counts (by status class) and a
 // service-wide latency histogram — the shared middleware state for the

@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// This file is the serving stack's structured-logging seam: every
+// operational line the cmd/ servers emit — startup, periodic summaries,
+// slow-request warnings, shutdown errors — goes through a *slog.Logger
+// built here, selectable between human text and machine JSON with the
+// -log-format flag. Attributes (trace ID, dataset, duration) ride as
+// structured fields instead of being baked into format strings.
+
+// LogFormats lists the accepted -log-format values.
+const (
+	LogFormatText = "text"
+	LogFormatJSON = "json"
+)
+
+// NewLogger builds a slog logger writing to w in the given format
+// ("text" or "json"). An unknown format is an error so a typo in
+// -log-format fails startup instead of silently switching encodings.
+func NewLogger(w io.Writer, format string) (*slog.Logger, error) {
+	switch format {
+	case LogFormatText, "":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case LogFormatJSON:
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log format %q (want %s or %s)", format, LogFormatText, LogFormatJSON)
+	}
+}
+
+// pkgLogger is the logger the telemetry package itself warns through
+// (misnamed metrics, exposition failures). Defaults to slog.Default().
+var pkgLogger atomic.Pointer[slog.Logger]
+
+// SetLogger routes the telemetry package's own warnings to l. The cmd/
+// servers call this with their -log-format logger so in-package warnings
+// match the process's log encoding.
+func SetLogger(l *slog.Logger) {
+	if l != nil {
+		pkgLogger.Store(l)
+	}
+}
+
+// logWarn emits one package-internal warning through the configured
+// logger.
+func logWarn(msg string, args ...any) {
+	l := pkgLogger.Load()
+	if l == nil {
+		l = slog.Default()
+	}
+	l.Warn(msg, args...)
+}

@@ -1,0 +1,25 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// PprofMux returns a mux serving the standard net/http/pprof endpoints
+// under /debug/pprof/. The cmd/ servers mount this on a separate,
+// opt-in listener (-pprof-addr) rather than the serving mux: profiling
+// handlers can hold the process busy for seconds (CPU profile, full
+// goroutine dumps) and must never be reachable from the data-serving
+// port a classroom points browsers at.
+//
+// Handlers are registered explicitly instead of importing pprof for its
+// DefaultServeMux side effect, so nothing leaks onto the default mux.
+func PprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

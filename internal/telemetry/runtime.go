@@ -1,0 +1,33 @@
+package telemetry
+
+import (
+	"runtime"
+)
+
+// RegisterRuntimeMetrics registers process-health series sampled lazily
+// on each /metrics scrape — no background goroutine, no sampling loop:
+//
+//	nsdf_runtime_goroutines        live goroutine count (gauge)
+//	nsdf_runtime_heap_bytes        bytes of allocated heap objects (gauge)
+//	nsdf_runtime_gc_pause_seconds  cumulative stop-the-world pause time (counter)
+//
+// Each scrape triggers runtime.ReadMemStats, which briefly
+// stops-the-world; at scrape cadence (seconds to minutes) that cost is
+// noise, and it keeps the numbers exactly as fresh as the scrape. The
+// funcs read into locals so concurrent scrapes (the registry renders
+// under a read lock) stay race-free.
+func RegisterRuntimeMetrics(reg *Registry) {
+	reg.GaugeFunc("nsdf_runtime_goroutines", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	reg.GaugeFunc("nsdf_runtime_heap_bytes", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.HeapAlloc)
+	})
+	reg.CounterFunc("nsdf_runtime_gc_pause_seconds", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.PauseTotalNs) / 1e9
+	})
+}

@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRuntimeMetricsExposed: the three process-health series render on
+// scrape with live, plausible values.
+func TestRuntimeMetricsExposed(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	var b strings.Builder
+	if err := reg.WriteExposition(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE nsdf_runtime_goroutines gauge",
+		"# TYPE nsdf_runtime_heap_bytes gauge",
+		"# TYPE nsdf_runtime_gc_pause_seconds counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// A live process always has at least one goroutine and a non-empty
+	// heap; the rendered values must not be zero.
+	for _, name := range []string{"nsdf_runtime_goroutines ", "nsdf_runtime_heap_bytes "} {
+		line := ""
+		for _, l := range strings.Split(out, "\n") {
+			if strings.HasPrefix(l, name) {
+				line = l
+			}
+		}
+		if line == "" {
+			t.Fatalf("no sample line for %s:\n%s", name, out)
+		}
+		if strings.HasSuffix(line, " 0") {
+			t.Errorf("%s rendered as zero: %q", name, line)
+		}
+	}
+}
+
+// TestRuntimeMetricsConcurrentScrapes: the registry renders func metrics
+// under a read lock, so concurrent scrapes run the sampling funcs in
+// parallel — they must be race-free (this test exists for -race).
+func TestRuntimeMetricsConcurrentScrapes(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				var b strings.Builder
+				if err := reg.WriteExposition(&b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

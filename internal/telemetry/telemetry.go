@@ -15,7 +15,6 @@ package telemetry
 
 import (
 	"fmt"
-	"log"
 	"math"
 	"regexp"
 	"sort"
@@ -248,7 +247,8 @@ func (r *Registry) checkName(name string) {
 	}
 	if !r.warned[name] {
 		r.warned[name] = true
-		log.Printf("telemetry: metric name %q does not match %s; fix the name or run nsdf-lint", name, MetricNamePattern)
+		logWarn("metric name does not match pattern; fix the name or run nsdf-lint",
+			"name", name, "pattern", MetricNamePattern.String())
 	}
 }
 

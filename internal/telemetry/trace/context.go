@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"context"
+	"time"
+)
+
+// ctxKey is the private context key carrying the current *Span.
+type ctxKey struct{}
+
+// NewContext returns ctx with s as the current span. Library code never
+// calls this directly — the tracing middleware plants the root span and
+// Start derives children.
+func NewContext(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the current span, or nil when the request is not
+// being traced.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// Active reports whether ctx carries a live trace. Hot paths consult it
+// once to gate per-block timing work.
+func Active(ctx context.Context) bool { return FromContext(ctx) != nil }
+
+// ID returns the trace ID carried by ctx, or "" — the hook structured
+// log lines use to stamp every record with its request.
+func ID(ctx context.Context) string { return FromContext(ctx).TraceID() }
+
+// Start begins a child span of the current span and returns a context
+// carrying it. Without an active trace it returns ctx unchanged and a
+// nil span (whose End is a no-op), so instrumentation is branch-free at
+// call sites. Every Start must be paired with End on all paths — the
+// spanend analyzer in internal/lint enforces this at `make lint` time.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	tr := parent.tr
+	s := &Span{
+		tr:     tr,
+		name:   name,
+		id:     tr.nextSpanID(),
+		parent: parent.id,
+		start:  tr.now(),
+		attrs:  attrs,
+	}
+	return NewContext(ctx, s), s
+}
+
+// Record adds an already-measured span under the current span — the
+// shape used by the IDX pipeline stages, whose decode and assemble times
+// are accumulated per block and booked once per request, and by the
+// storage layer's per-operation spans. A nil current span drops the
+// record.
+func Record(ctx context.Context, name string, start, end time.Time, attrs ...Attr) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return
+	}
+	tr := parent.tr
+	tr.record(SpanData{
+		Name:     name,
+		ID:       tr.nextSpanID(),
+		Parent:   parent.id,
+		Start:    start,
+		Duration: end.Sub(start),
+		Attrs:    attrMap(attrs),
+	})
+}
+
+// RecordDuration books a pre-accumulated duration d ending at end as a
+// span — used for pipeline stages whose busy time is summed across
+// worker goroutines and therefore has no single wall-clock start.
+func RecordDuration(ctx context.Context, name string, end time.Time, d time.Duration, attrs ...Attr) {
+	Record(ctx, name, end.Add(-d), end, attrs...)
+}
