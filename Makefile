@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race lint fuzz-smoke check bench-readpath bench-readpath-smoke bench-trace bench-trace-smoke
+.PHONY: build test vet race lint fuzz-smoke check bench-readpath bench-readpath-smoke bench-trace bench-trace-smoke bench-cache bench-cache-smoke
 
 build:
 	$(GO) build ./...
@@ -56,5 +56,19 @@ bench-trace:
 bench-trace-smoke:
 	NSDF_BENCH_TRACE_ITERS=1 $(GO) test ./internal/idx -run '^TestBenchTraceOverheadEmit$$' -count=1
 
-check: build test vet race lint fuzz-smoke bench-readpath-smoke bench-trace-smoke
+# Measure the tiered block cache — zero-copy hit path (gated at 0
+# allocs/op), fetch coalescing under concurrent readers, TinyLFU
+# admission vs plain LRU — and refresh BENCH_cache.json, then print the
+# stock benchmark tables.
+bench-cache:
+	NSDF_BENCH_CACHE_ITERS=5 NSDF_BENCH_CACHE_OUT=$(CURDIR)/BENCH_cache.json \
+		$(GO) test ./internal/cache -run '^TestBenchCacheEmit$$' -count=1 -v
+	$(GO) test ./internal/cache -run '^$$' -bench 'BenchmarkGetHit|BenchmarkPutEvict' -benchmem -count=1
+
+# One-iteration smoke of the cache harness (temp output): keeps it
+# compiling, running, and allocation-free under `make check`.
+bench-cache-smoke:
+	NSDF_BENCH_CACHE_ITERS=1 $(GO) test ./internal/cache -run '^TestBenchCacheEmit$$' -count=1
+
+check: build test vet race lint fuzz-smoke bench-readpath-smoke bench-trace-smoke bench-cache-smoke
 	@echo "check: all gates passed"

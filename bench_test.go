@@ -477,12 +477,14 @@ func BenchmarkZFPToleranceSweep(b *testing.B) {
 // hot-path cost behind every warm dashboard interaction.
 func BenchmarkCacheLRU(b *testing.B) {
 	c := cache.NewLRU(1 << 22)
-	payload := make([]byte, 16<<10)
 	for i := 0; i < 128; i++ {
-		c.Put(fmt.Sprintf("blk%d", i), payload)
+		// Put adopts the buffer, so each entry needs its own backing array.
+		c.Put(fmt.Sprintf("blk%d", i), make([]byte, 16<<10)).Release()
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		c.Get(fmt.Sprintf("blk%d", i%160)) // ~80% hits
+		if blk, ok := c.Get(fmt.Sprintf("blk%d", i%160)); ok { // ~80% hits
+			blk.Release()
+		}
 	}
 }

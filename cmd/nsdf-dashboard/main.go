@@ -20,9 +20,11 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
+	"nsdfgo/internal/cache"
 	"nsdfgo/internal/dashboard"
 	"nsdfgo/internal/dem"
 	"nsdfgo/internal/geotiled"
@@ -51,7 +53,9 @@ func (d *dataFlags) Set(v string) error {
 
 func run() error {
 	addr := flag.String("addr", ":8080", "listen address")
-	cacheMB := flag.Int("cache-mb", 64, "block cache size per dataset in MiB")
+	cacheMB := flag.Int("cache-mb", 64, "in-memory block cache size per dataset in MiB")
+	cacheDir := flag.String("cache-dir", "", "directory for an on-disk block cache tier below memory (empty disables; contents are wiped at startup)")
+	cacheDiskBytes := flag.Int64("cache-disk-bytes", 256<<20, "on-disk block cache budget per dataset in bytes (with -cache-dir)")
 	demo := flag.Bool("demo", false, "synthesise and register a demo Tennessee dataset")
 	summaryEvery := flag.Duration("summary-interval", 30*time.Second, "interval between one-line telemetry summaries (0 disables)")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline bounding all block I/O (0 disables)")
@@ -76,6 +80,17 @@ func run() error {
 	server := dashboard.NewServer()
 	server.EnableTelemetry(reg)
 	server.EnableTracing(traces)
+	// newDatasetCache builds one tiered block cache per dataset. Each
+	// dataset gets its own subdirectory of -cache-dir because the disk
+	// tier wipes its directory at startup.
+	newDatasetCache := func(name string) (*cache.Tiered, error) {
+		opts := cache.Options{MemBytes: int64(*cacheMB) << 20}
+		if *cacheDir != "" {
+			opts.DiskDir = filepath.Join(*cacheDir, name)
+			opts.DiskBytes = *cacheDiskBytes
+		}
+		return cache.NewTiered(opts)
+	}
 	registered := 0
 	for _, spec := range data {
 		name, path, ok := strings.Cut(spec, "=")
@@ -90,7 +105,11 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("open %s: %w", path, err)
 		}
-		server.Register(name, query.New(ds, int64(*cacheMB)<<20))
+		bc, err := newDatasetCache(name)
+		if err != nil {
+			return fmt.Errorf("cache for %s: %w", name, err)
+		}
+		server.Register(name, query.NewWithCache(ds, bc))
 		logger.Info("registered dataset",
 			slog.String("dataset", name),
 			slog.Int("width", ds.Meta.Dims[0]),
@@ -104,7 +123,11 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("demo dataset: %w", err)
 		}
-		server.Register("tennessee_demo", query.New(ds, int64(*cacheMB)<<20))
+		bc, err := newDatasetCache("tennessee_demo")
+		if err != nil {
+			return fmt.Errorf("cache for tennessee_demo: %w", err)
+		}
+		server.Register("tennessee_demo", query.NewWithCache(ds, bc))
 		logger.Info("registered dataset",
 			slog.String("dataset", "tennessee_demo"),
 			slog.Int("width", 512), slog.Int("height", 256),

@@ -23,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"nsdfgo/internal/cache"
 	"nsdfgo/internal/storage"
 	"nsdfgo/internal/telemetry"
 	"nsdfgo/internal/telemetry/trace"
@@ -39,6 +40,9 @@ func run() error {
 	addr := flag.String("addr", ":9000", "listen address")
 	root := flag.String("root", "./objects", "object storage directory")
 	token := flag.String("token", "", "bearer token; empty serves a public store")
+	cacheMB := flag.Int("cache-mb", 0, "in-memory object cache size in MiB (0 disables)")
+	cacheDir := flag.String("cache-dir", "", "directory for an on-disk cache tier below memory (empty disables; contents are wiped at startup)")
+	cacheDiskBytes := flag.Int64("cache-disk-bytes", 256<<20, "on-disk cache budget in bytes (with -cache-dir)")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline bounding store I/O (0 disables)")
 	slowRequest := flag.Duration("slow-request", time.Second, "log a structured span summary for requests at least this slow (0 disables)")
 	logFormat := flag.String("log-format", telemetry.LogFormatText, "log encoding: text or json")
@@ -59,7 +63,25 @@ func run() error {
 	reg := telemetry.NewRegistry()
 	telemetry.RegisterRuntimeMetrics(reg)
 	traces := trace.NewCollector(*traceBuffer)
-	store := storage.NewInstrumented(fileStore, reg, "file")
+	// Layer the read-through cache (when enabled) under the
+	// instrumentation, so /metrics latency histograms reflect what clients
+	// actually experienced (hits included) while nsdf_cache_* series report
+	// the cache's own effectiveness.
+	var inner storage.Store = fileStore
+	if *cacheMB > 0 || *cacheDir != "" {
+		opts := cache.Options{MemBytes: int64(*cacheMB) << 20}
+		if *cacheDir != "" {
+			opts.DiskDir = *cacheDir
+			opts.DiskBytes = *cacheDiskBytes
+		}
+		tiered, err := cache.NewTiered(opts)
+		if err != nil {
+			return fmt.Errorf("object cache: %w", err)
+		}
+		tiered.Instrument(reg, "store")
+		inner = storage.NewCached(inner, tiered)
+	}
+	store := storage.NewInstrumented(inner, reg, "file")
 
 	// Observability endpoints mount on the mux ahead of the object server
 	// so they stay reachable (and unauthenticated) even with -token set.

@@ -1,150 +1,313 @@
-// Package cache provides the size-bounded, concurrency-safe LRU block
-// cache behind the IDX streaming stack ("the caching-enabled framework
-// also allows users to extract any rectangular subsets of the input data
-// progressively"). Keys are block object names; values are decompressed
-// block payloads.
+// Package cache provides the size-bounded, concurrency-safe block cache
+// behind the IDX streaming stack ("the caching-enabled framework also
+// allows users to extract any rectangular subsets of the input data
+// progressively"). Keys are block object names; values are immutable,
+// reference-counted block payloads (Block) shared by all readers, so a
+// cache hit copies nothing. A Tiered cache layers request coalescing, a
+// TinyLFU admission filter, and an optional disk tier on top of the
+// in-memory LRU.
 package cache
 
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"nsdfgo/internal/telemetry"
 )
 
 // Stats reports cache effectiveness counters.
 type Stats struct {
-	// Hits and Misses count Get outcomes.
+	// Hits and Misses count lookup outcomes. For a Tiered cache, Hits
+	// counts memory-tier hits and Misses counts keys absent from every
+	// tier.
 	Hits, Misses int64
 	// Evictions counts entries displaced by the size bound.
 	Evictions int64
-	// Entries is the current entry count.
+	// AdmissionRejects counts candidates the TinyLFU filter refused to
+	// admit because a resident victim was hotter.
+	AdmissionRejects int64
+	// Coalesced counts fills that piggybacked on another caller's
+	// in-flight fetch of the same key instead of issuing their own.
+	Coalesced int64
+	// DiskHits counts lookups served from the disk tier.
+	DiskHits int64
+	// Entries is the current memory-tier entry count.
 	Entries int
-	// Bytes is the current payload footprint.
+	// Bytes is the current memory-tier payload footprint.
 	Bytes int64
+	// DiskEntries and DiskBytes describe the disk tier, when enabled.
+	DiskEntries int
+	DiskBytes   int64
 }
 
-// HitRate returns Hits / (Hits+Misses), or 0 before any traffic.
+// HitRate returns the fraction of lookups served by any tier, or 0
+// before any traffic.
 func (s Stats) HitRate() float64 {
-	total := s.Hits + s.Misses
+	total := s.Hits + s.DiskHits + s.Misses
 	if total == 0 {
 		return 0
 	}
-	return float64(s.Hits) / float64(total)
+	return float64(s.Hits+s.DiskHits) / float64(total)
 }
 
-// LRU is a least-recently-used byte cache with a maximum total payload
-// size. It is safe for concurrent use. It satisfies idx.BlockCache.
+// LRU is a least-recently-used block cache with a maximum total payload
+// size. It is safe for concurrent use and satisfies idx.BlockCache.
+// Payloads are held as ref-counted Blocks: Get returns the resident
+// Block (shared, read-only) and Put adopts the caller's buffer instead
+// of copying it.
 type LRU struct {
 	mu       sync.Mutex
 	maxBytes int64
-	curBytes int64
 	ll       *list.List // front = most recent
 	items    map[string]*list.Element
-	hits     int64
-	misses   int64
-	evicts   int64
+	pool     *bufPool
+	sketch   *freqSketch // nil = no admission filter
+	// onEvict observes size-bound evictions (disk spill). It is called
+	// outside the cache lock while the cache still holds its reference;
+	// a hook that needs the block past the call must Acquire it.
+	onEvict func(key string, blk *Block)
+
+	hits    atomic.Int64
+	misses  atomic.Int64
+	evicts  atomic.Int64
+	rejects atomic.Int64
+	entries atomic.Int64
+	bytes   atomic.Int64
 }
 
 type entry struct {
-	key  string
-	data []byte
+	key string
+	blk *Block
 }
 
-// NewLRU constructs a cache bounded to maxBytes of payload. A bound <= 0
-// disables caching (all Gets miss, Puts are dropped), which keeps "no
-// cache" configurations uniform in sweeps.
+// NewLRU constructs a cache bounded to maxBytes of payload, with no
+// admission filter. A bound <= 0 disables caching (all Gets miss without
+// touching the counters, Puts are dropped), which keeps "no cache"
+// configurations uniform in sweeps.
 func NewLRU(maxBytes int64) *LRU {
-	return &LRU{
+	return newLRU(maxBytes, newBufPool(poolBuffersPerSize), false)
+}
+
+// poolBuffersPerSize bounds how many released buffers of each size the
+// recycle pool retains.
+const poolBuffersPerSize = 64
+
+// newLRU is the internal constructor: Tiered shares one buffer pool
+// across tiers and opts into TinyLFU admission.
+func newLRU(maxBytes int64, pool *bufPool, admit bool) *LRU {
+	c := &LRU{
 		maxBytes: maxBytes,
 		ll:       list.New(),
 		items:    make(map[string]*list.Element),
+		pool:     pool,
 	}
+	if admit && maxBytes > 0 {
+		// Size the sketch for the plausible entry count assuming 64 KiB
+		// blocks; newFreqSketch rounds up and floors the width.
+		c.sketch = newFreqSketch(int(maxBytes / (64 << 10)))
+	}
+	return c
 }
 
-// Get returns the cached payload for key and marks it recently used.
-// The returned slice is the cache's own storage and must be treated as
-// read-only; Put copies, Get does not.
-func (c *LRU) Get(key string) ([]byte, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
-	if !ok {
-		c.misses++
+// Get returns the cached Block for key and marks it recently used. The
+// Block is shared read-only memory carrying one reference for the
+// caller, who must Release it when done. A disabled cache returns
+// (nil, false) without counting a miss.
+func (c *LRU) Get(key string) (*Block, bool) {
+	if c.maxBytes <= 0 {
 		return nil, false
 	}
-	c.hits++
-	c.ll.MoveToFront(el)
-	return el.Value.(*entry).data, true
+	blk, ok := c.lookup(key)
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return blk, ok
 }
 
-// Put stores a copy of the payload under key. Payloads larger than the
-// whole cache are ignored. Copying decouples the cache from the caller:
-// a writer that keeps scribbling on its buffer after Put (block
-// read-modify-write paths do) cannot corrupt cached contents. Get still
-// returns the stored slice by reference, so Get callers must treat the
-// payload as read-only.
-func (c *LRU) Put(key string, data []byte) {
-	if c.maxBytes <= 0 || int64(len(data)) > c.maxBytes {
-		return
-	}
-	cp := make([]byte, len(data))
-	copy(cp, data)
+// lookup is Get without the hit/miss accounting; Tiered layers its own
+// counters on top.
+func (c *LRU) lookup(key string) (*Block, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		old := el.Value.(*entry)
-		c.curBytes += int64(len(cp)) - int64(len(old.data))
-		old.data = cp
-		c.ll.MoveToFront(el)
-	} else {
-		el := c.ll.PushFront(&entry{key: key, data: cp})
-		c.items[key] = el
-		c.curBytes += int64(len(cp))
+	if c.sketch != nil {
+		c.sketch.touch(key)
 	}
-	for c.curBytes > c.maxBytes {
-		c.evictOldest()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	blk := el.Value.(*entry).blk
+	blk.Acquire()
+	return blk, true
+}
+
+// Put adopts data as an immutable Block, stores it under key, and
+// returns the Block with one reference owned by the caller. Adoption is
+// the zero-copy contract: the caller must not write to data after Put.
+// The returned Block is valid even when insertion is skipped (disabled
+// cache, oversized payload, admission reject), so callers can always
+// read through it.
+func (c *LRU) Put(key string, data []byte) *Block {
+	blk := newPooledBlock(data, c.pool)
+	c.PutBlock(key, blk)
+	return blk
+}
+
+// PutBlock inserts an existing Block under key, acquiring its own
+// reference on success. It reports false when the cache is disabled,
+// the payload is oversized, or the admission filter refuses the key.
+func (c *LRU) PutBlock(key string, blk *Block) bool {
+	size := int64(blk.Len())
+	if c.maxBytes <= 0 || size > c.maxBytes {
+		return false
+	}
+	var old *Block
+	var evicted []*entry
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry)
+		if e.blk != blk {
+			old = e.blk
+			blk.Acquire()
+			c.bytes.Add(size - int64(old.Len()))
+			e.blk = blk
+		}
+		c.ll.MoveToFront(el)
+		c.trim(&evicted)
+	} else {
+		if !c.makeRoom(key, size, &evicted) {
+			c.rejects.Add(1)
+			c.mu.Unlock()
+			c.finishEvictions(evicted)
+			return false
+		}
+		blk.Acquire()
+		c.items[key] = c.ll.PushFront(&entry{key: key, blk: blk})
+		c.entries.Add(1)
+		c.bytes.Add(size)
+	}
+	c.mu.Unlock()
+	if old != nil {
+		old.Release()
+	}
+	c.finishEvictions(evicted)
+	return true
+}
+
+// makeRoom frees space for a size-byte insertion. With an admission
+// sketch, the candidate must be estimated strictly hotter than every
+// victim it would displace, else the insertion is rejected (scan
+// resistance: a one-pass scan cannot flush the resident hot set).
+// Admission is only consulted when the insertion would actually evict.
+// Caller holds mu; evicted entries are appended for post-unlock
+// handling.
+func (c *LRU) makeRoom(key string, size int64, evicted *[]*entry) bool {
+	need := c.bytes.Load() + size - c.maxBytes
+	if need <= 0 {
+		return true
+	}
+	if c.sketch != nil {
+		cand := c.sketch.estimate(key)
+		freed := int64(0)
+		for el := c.ll.Back(); el != nil && freed < need; el = el.Prev() {
+			e := el.Value.(*entry)
+			if cand <= c.sketch.estimate(e.key) {
+				return false
+			}
+			freed += int64(e.blk.Len())
+		}
+	}
+	for c.bytes.Load()+size > c.maxBytes {
+		if !c.evictOldest(evicted) {
+			break
+		}
+	}
+	return true
+}
+
+// trim evicts until the size bound holds (replacement grew an entry).
+// Caller holds mu.
+func (c *LRU) trim(evicted *[]*entry) {
+	for c.bytes.Load() > c.maxBytes {
+		if !c.evictOldest(evicted) {
+			break
+		}
 	}
 }
 
 // evictOldest removes the least recently used entry. Caller holds mu.
-func (c *LRU) evictOldest() {
+func (c *LRU) evictOldest(evicted *[]*entry) bool {
 	el := c.ll.Back()
 	if el == nil {
-		return
+		return false
 	}
 	e := el.Value.(*entry)
 	c.ll.Remove(el)
 	delete(c.items, e.key)
-	c.curBytes -= int64(len(e.data))
-	c.evicts++
+	c.entries.Add(-1)
+	c.bytes.Add(-int64(e.blk.Len()))
+	c.evicts.Add(1)
+	*evicted = append(*evicted, e)
+	return true
 }
 
-// Remove drops key from the cache if present.
+// finishEvictions runs the eviction hook and drops the cache's
+// references, outside the lock so the hook (disk spill) cannot stall
+// readers.
+func (c *LRU) finishEvictions(evicted []*entry) {
+	for _, e := range evicted {
+		if c.onEvict != nil {
+			c.onEvict(e.key, e.blk)
+		}
+		e.blk.Release()
+	}
+}
+
+// Remove drops key from the cache if present (invalidation). The
+// eviction hook is not called: invalidated data must not be spilled.
 func (c *LRU) Remove(key string) {
+	var blk *Block
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		e := el.Value.(*entry)
 		c.ll.Remove(el)
 		delete(c.items, key)
-		c.curBytes -= int64(len(e.data))
+		c.entries.Add(-1)
+		c.bytes.Add(-int64(e.blk.Len()))
+		blk = e.blk
+	}
+	c.mu.Unlock()
+	if blk != nil {
+		blk.Release()
 	}
 }
 
-// Clear empties the cache, keeping counters.
+// Clear empties the cache, keeping counters. Blocks still held by
+// readers stay valid until those readers release them.
 func (c *LRU) Clear() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	dropped := make([]*Block, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		dropped = append(dropped, el.Value.(*entry).blk)
+	}
 	c.ll.Init()
 	c.items = make(map[string]*list.Element)
-	c.curBytes = 0
+	c.entries.Store(0)
+	c.bytes.Store(0)
+	c.mu.Unlock()
+	for _, blk := range dropped {
+		blk.Release()
+	}
 }
 
 // Instrument registers the cache's counters with a telemetry registry,
-// labelled with a cache name. The series are read live at exposition
-// time, so there is no per-operation overhead beyond the existing
-// counters:
+// labelled with a cache name. Every series reads a lock-free atomic
+// snapshot, so a scrape costs no mutex acquisitions and cannot contend
+// with the read path:
 //
 //	nsdf_cache_hits_total{cache}       Get hits
 //	nsdf_cache_misses_total{cache}     Get misses
@@ -153,26 +316,26 @@ func (c *LRU) Clear() {
 //	nsdf_cache_bytes{cache}            current payload footprint
 func (c *LRU) Instrument(reg *telemetry.Registry, name string) {
 	reg.CounterFunc("nsdf_cache_hits_total",
-		func() float64 { return float64(c.Stats().Hits) }, "cache", name)
+		func() float64 { return float64(c.hits.Load()) }, "cache", name)
 	reg.CounterFunc("nsdf_cache_misses_total",
-		func() float64 { return float64(c.Stats().Misses) }, "cache", name)
+		func() float64 { return float64(c.misses.Load()) }, "cache", name)
 	reg.CounterFunc("nsdf_cache_evictions_total",
-		func() float64 { return float64(c.Stats().Evictions) }, "cache", name)
+		func() float64 { return float64(c.evicts.Load()) }, "cache", name)
 	reg.GaugeFunc("nsdf_cache_entries",
-		func() float64 { return float64(c.Stats().Entries) }, "cache", name)
+		func() float64 { return float64(c.entries.Load()) }, "cache", name)
 	reg.GaugeFunc("nsdf_cache_bytes",
-		func() float64 { return float64(c.Stats().Bytes) }, "cache", name)
+		func() float64 { return float64(c.bytes.Load()) }, "cache", name)
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the cache counters. It reads atomics
+// only, so it is safe to call from telemetry exposition at any rate.
 func (c *LRU) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evicts,
-		Entries:   len(c.items),
-		Bytes:     c.curBytes,
+		Hits:             c.hits.Load(),
+		Misses:           c.misses.Load(),
+		Evictions:        c.evicts.Load(),
+		AdmissionRejects: c.rejects.Load(),
+		Entries:          int(c.entries.Load()),
+		Bytes:            c.bytes.Load(),
 	}
 }

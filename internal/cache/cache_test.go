@@ -7,31 +7,52 @@ import (
 	"testing/quick"
 )
 
+// getString is a test helper: Get, copy the payload out, Release.
+func getString(t testing.TB, c *LRU, key string) (string, bool) {
+	t.Helper()
+	blk, ok := c.Get(key)
+	if !ok {
+		return "", false
+	}
+	s := string(blk.Bytes())
+	blk.Release()
+	return s, true
+}
+
+// put is a test helper: Put and immediately drop the caller reference.
+func put(c *LRU, key string, data []byte) {
+	c.Put(key, data).Release()
+}
+
 func TestGetPut(t *testing.T) {
 	c := NewLRU(1024)
 	if _, ok := c.Get("a"); ok {
 		t.Error("empty cache hit")
 	}
-	c.Put("a", []byte("hello"))
-	got, ok := c.Get("a")
-	if !ok || string(got) != "hello" {
+	put(c, "a", []byte("hello"))
+	got, ok := getString(t, c, "a")
+	if !ok || got != "hello" {
 		t.Errorf("Get = %q, %v", got, ok)
 	}
 }
 
 func TestEvictionBySize(t *testing.T) {
 	c := NewLRU(10)
-	c.Put("a", []byte("12345"))
-	c.Put("b", []byte("12345"))
-	c.Put("c", []byte("1")) // evicts a (oldest)
+	put(c, "a", []byte("12345"))
+	put(c, "b", []byte("12345"))
+	put(c, "c", []byte("1")) // evicts a (oldest)
 	if _, ok := c.Get("a"); ok {
 		t.Error("a not evicted")
 	}
-	if _, ok := c.Get("b"); !ok {
+	if blk, ok := c.Get("b"); !ok {
 		t.Error("b evicted prematurely")
+	} else {
+		blk.Release()
 	}
-	if _, ok := c.Get("c"); !ok {
+	if blk, ok := c.Get("c"); !ok {
 		t.Error("c missing")
+	} else {
+		blk.Release()
 	}
 	s := c.Stats()
 	if s.Evictions != 1 {
@@ -44,11 +65,13 @@ func TestEvictionBySize(t *testing.T) {
 
 func TestLRUOrderRefreshedByGet(t *testing.T) {
 	c := NewLRU(10)
-	c.Put("a", []byte("12345"))
-	c.Put("b", []byte("12345"))
-	c.Get("a")                // a becomes most recent
-	c.Put("c", []byte("1id")) // evicts b
-	if _, ok := c.Get("a"); !ok {
+	put(c, "a", []byte("12345"))
+	put(c, "b", []byte("12345"))
+	if blk, ok := c.Get("a"); ok { // a becomes most recent
+		blk.Release()
+	}
+	put(c, "c", []byte("1id")) // evicts b
+	if _, ok := getString(t, c, "a"); !ok {
 		t.Error("recently used a evicted")
 	}
 	if _, ok := c.Get("b"); ok {
@@ -58,10 +81,10 @@ func TestLRUOrderRefreshedByGet(t *testing.T) {
 
 func TestUpdateExistingKey(t *testing.T) {
 	c := NewLRU(100)
-	c.Put("k", []byte("aaaa"))
-	c.Put("k", []byte("bb"))
-	got, ok := c.Get("k")
-	if !ok || string(got) != "bb" {
+	put(c, "k", []byte("aaaa"))
+	put(c, "k", []byte("bb"))
+	got, ok := getString(t, c, "k")
+	if !ok || got != "bb" {
 		t.Errorf("updated value = %q", got)
 	}
 	if s := c.Stats(); s.Bytes != 2 || s.Entries != 1 {
@@ -71,24 +94,44 @@ func TestUpdateExistingKey(t *testing.T) {
 
 func TestOversizePayloadIgnored(t *testing.T) {
 	c := NewLRU(4)
-	c.Put("big", []byte("123456789"))
+	blk := c.Put("big", []byte("123456789"))
+	// The caller can still read through the returned block even though
+	// the cache declined the entry.
+	if string(blk.Bytes()) != "123456789" {
+		t.Errorf("declined Put returned wrong payload %q", blk.Bytes())
+	}
+	blk.Release()
 	if _, ok := c.Get("big"); ok {
 		t.Error("oversize payload cached")
 	}
 }
 
-func TestZeroCapacityDisables(t *testing.T) {
+// TestDisabledCacheCountsNothing is the regression test for the
+// disabled-cache telemetry bug: a NewLRU(0) cache used to count a miss
+// on every Get, so nsdf_cache_misses_total reported traffic for a cache
+// that is off.
+func TestDisabledCacheCountsNothing(t *testing.T) {
 	c := NewLRU(0)
-	c.Put("a", []byte("x"))
+	put(c, "a", []byte("x"))
 	if _, ok := c.Get("a"); ok {
 		t.Error("zero-capacity cache stored data")
+	}
+	for i := 0; i < 5; i++ {
+		c.Get("a")
+	}
+	s := c.Stats()
+	if s.Hits != 0 || s.Misses != 0 {
+		t.Errorf("disabled cache counted traffic: hits=%d misses=%d", s.Hits, s.Misses)
+	}
+	if s.HitRate() != 0 {
+		t.Errorf("disabled cache hit rate = %v", s.HitRate())
 	}
 }
 
 func TestRemoveAndClear(t *testing.T) {
 	c := NewLRU(100)
-	c.Put("a", []byte("1"))
-	c.Put("b", []byte("2"))
+	put(c, "a", []byte("1"))
+	put(c, "b", []byte("2"))
 	c.Remove("a")
 	if _, ok := c.Get("a"); ok {
 		t.Error("removed key present")
@@ -105,9 +148,9 @@ func TestRemoveAndClear(t *testing.T) {
 
 func TestStatsCounters(t *testing.T) {
 	c := NewLRU(100)
-	c.Put("a", []byte("1"))
-	c.Get("a")
-	c.Get("a")
+	put(c, "a", []byte("1"))
+	getString(t, c, "a")
+	getString(t, c, "a")
 	c.Get("x")
 	s := c.Stats()
 	if s.Hits != 2 || s.Misses != 1 {
@@ -129,7 +172,7 @@ func TestBytesInvariantProperty(t *testing.T) {
 		for _, op := range ops {
 			key := fmt.Sprintf("k%d", op%16)
 			size := int(op % 20)
-			c.Put(key, make([]byte, size))
+			put(c, key, make([]byte, size))
 		}
 		s := c.Stats()
 		if s.Bytes > 64 {
@@ -138,7 +181,7 @@ func TestBytesInvariantProperty(t *testing.T) {
 		var total int64
 		c.mu.Lock()
 		for _, el := range c.items {
-			total += int64(len(el.Value.(*entry).data))
+			total += int64(el.Value.(*entry).blk.Len())
 		}
 		c.mu.Unlock()
 		return total == s.Bytes && len(c.items) == s.Entries
@@ -148,69 +191,168 @@ func TestBytesInvariantProperty(t *testing.T) {
 	}
 }
 
-func TestConcurrentAccess(t *testing.T) {
-	c := NewLRU(1 << 16)
-	var wg sync.WaitGroup
-	for w := 0; w < 8; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := 0; i < 500; i++ {
-				key := fmt.Sprintf("k%d", (w*31+i)%64)
-				if i%3 == 0 {
-					c.Put(key, make([]byte, 32))
-				} else {
-					c.Get(key)
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	if s := c.Stats(); s.Bytes < 0 {
-		t.Errorf("negative bytes: %+v", s)
-	}
-}
-
 func BenchmarkGetHit(b *testing.B) {
 	c := NewLRU(1 << 20)
-	c.Put("key", make([]byte, 4096))
+	put(c, "key", make([]byte, 4096))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		c.Get("key")
+		blk, _ := c.Get("key")
+		blk.Release()
 	}
 }
 
 func BenchmarkPutEvict(b *testing.B) {
 	c := NewLRU(1 << 16)
-	payload := make([]byte, 1024)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		c.Put(fmt.Sprintf("k%d", i), payload)
+		put(c, fmt.Sprintf("k%d", i), make([]byte, 1024))
 	}
 }
 
-// TestPutCopiesPayload guards the block-aliasing contract: a caller that
-// keeps mutating its buffer after Put (read-modify-write paths do) must
-// not be able to alter cached contents.
-func TestPutCopiesPayload(t *testing.T) {
+// TestPutAdoptsBuffer guards the zero-copy contract: Put adopts the
+// caller's buffer (no copy), and Get returns the same backing storage.
+func TestPutAdoptsBuffer(t *testing.T) {
 	c := NewLRU(1 << 20)
 	buf := []byte{1, 2, 3, 4}
-	c.Put("k", buf)
-	buf[0] = 99
+	blk := c.Put("k", buf)
+	if &blk.Bytes()[0] != &buf[0] {
+		t.Fatal("Put copied the payload instead of adopting it")
+	}
+	blk.Release()
 	got, ok := c.Get("k")
 	if !ok {
 		t.Fatal("entry missing")
 	}
-	if got[0] != 1 {
-		t.Fatalf("cached payload mutated through caller's slice: got %v", got)
+	if &got.Bytes()[0] != &buf[0] {
+		t.Fatal("Get returned a copy instead of the shared buffer")
 	}
+	got.Release()
+}
 
-	// Replacing an existing key must also decouple from the new buffer.
-	buf2 := []byte{5, 6, 7, 8}
-	c.Put("k", buf2)
-	buf2[3] = 0
-	got, _ = c.Get("k")
-	if got[3] != 8 {
-		t.Fatalf("replacement payload mutated through caller's slice: got %v", got)
+// TestEvictedBlockSurvivesWhileHeld is the refcount safety property: a
+// reader holding a Block keeps its buffer alive across eviction, and
+// the buffer is recycled only after the last reference drops.
+func TestEvictedBlockSurvivesWhileHeld(t *testing.T) {
+	c := NewLRU(8)
+	payload := []byte{10, 20, 30, 40}
+	c.Put("a", payload).Release()
+	held, ok := c.Get("a")
+	if !ok {
+		t.Fatal("a missing")
+	}
+	// Evict a while the reader still holds it.
+	put(c, "b", make([]byte, 8))
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a not evicted")
+	}
+	if held.refCount() != 1 {
+		t.Fatalf("held block refcount = %d, want 1 (reader only)", held.refCount())
+	}
+	// The buffer must not have been recycled into the pool while the
+	// reader still holds it.
+	if got := c.pool.get(4); got != nil {
+		t.Fatal("evicted buffer recycled while a reader still held it")
+	}
+	for i, want := range []byte{10, 20, 30, 40} {
+		if held.Bytes()[i] != want {
+			t.Fatalf("held data corrupted at %d: %d", i, held.Bytes()[i])
+		}
+	}
+	held.Release()
+	// Now fully released, the buffer goes back to the pool and the next
+	// same-size request reuses it.
+	if got := c.pool.get(4); got == nil || &got[0] != &payload[0] {
+		t.Fatal("released buffer not recycled into the pool")
+	}
+}
+
+func TestBlockOverReleasePanics(t *testing.T) {
+	blk := NewBlock([]byte{1})
+	blk.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("over-release did not panic")
+		}
+	}()
+	blk.Release()
+}
+
+func TestBlockAcquireAfterReleasePanics(t *testing.T) {
+	blk := NewBlock([]byte{1})
+	blk.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("acquire-after-release did not panic")
+		}
+	}()
+	blk.Acquire()
+}
+
+func TestFreqSketch(t *testing.T) {
+	s := newFreqSketch(1024)
+	if got := s.estimate("cold"); got != 0 {
+		t.Errorf("untouched estimate = %d", got)
+	}
+	s.touch("hot") // doorkeeper only
+	if got := s.estimate("hot"); got != 1 {
+		t.Errorf("after 1 touch estimate = %d", got)
+	}
+	for i := 0; i < 10; i++ {
+		s.touch("hot")
+	}
+	if got := s.estimate("hot"); got < 5 {
+		t.Errorf("after 11 touches estimate = %d", got)
+	}
+	hot := s.estimate("hot")
+	s.reset()
+	if got := s.estimate("hot"); got >= hot {
+		t.Errorf("reset did not age: %d -> %d", hot, got)
+	}
+}
+
+// TestLRUStressRace exercises concurrent mixed Get/Put/Remove/Clear
+// under -race, with payload verification to catch any buffer recycled
+// while still referenced.
+func TestLRUStressRace(t *testing.T) {
+	c := NewLRU(4 << 10) // small: constant eviction + pool churn
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := (w*31 + i) % 32
+				key := fmt.Sprintf("k%d", k)
+				switch i % 7 {
+				case 0, 1, 2:
+					if blk, ok := c.Get(key); ok {
+						for _, b := range blk.Bytes() {
+							if b != byte(k) {
+								t.Errorf("key %s served foreign payload %d", key, b)
+								break
+							}
+						}
+						blk.Release()
+					}
+				case 3, 4, 5:
+					data := make([]byte, 64+k)
+					for j := range data {
+						data[j] = byte(k)
+					}
+					c.Put(key, data).Release()
+				case 6:
+					if i%35 == 6 {
+						c.Clear()
+					} else {
+						c.Remove(key)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := c.Stats(); s.Bytes < 0 || s.Entries < 0 {
+		t.Errorf("corrupt stats: %+v", s)
 	}
 }

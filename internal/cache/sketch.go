@@ -1,0 +1,103 @@
+package cache
+
+// freqSketch is a TinyLFU-style frequency estimator: a doorkeeper bloom
+// filter absorbs one-hit-wonders, and a 4-row count-min sketch of 4-bit
+// saturating counters (stored in uint8 for simplicity) estimates the
+// access frequency of everything that got past the doorkeeper. All
+// counters halve when the sample window fills, so estimates age out and
+// yesterday's hot set cannot pin the cache forever.
+//
+// It is not safe for concurrent use; callers serialize access (the LRU
+// touches it under its own mutex).
+type freqSketch struct {
+	rows    [4][]uint8
+	door    []uint64 // doorkeeper bloom bitset
+	mask    uint64   // row length - 1 (power of two)
+	samples int      // touches since last reset
+	limit   int      // reset threshold
+}
+
+// newFreqSketch sizes the sketch for roughly entries live keys. Width is
+// rounded up to a power of two, floor 1024.
+func newFreqSketch(entries int) *freqSketch {
+	width := 1024
+	for width < entries {
+		width <<= 1
+	}
+	s := &freqSketch{mask: uint64(width - 1), limit: width * 8}
+	for i := range s.rows {
+		s.rows[i] = make([]uint8, width)
+	}
+	s.door = make([]uint64, width/64)
+	return s
+}
+
+// hashes derives the two base hashes for double hashing from FNV-1a 64,
+// computed inline: the sketch is touched on every cache lookup, and the
+// hash/fnv digest object would put one allocation on the zero-alloc hit
+// path.
+func (s *freqSketch) hashes(key string) (uint64, uint64) {
+	h1 := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h1 ^= uint64(key[i])
+		h1 *= 1099511628211
+	}
+	h2 := h1>>32 | h1<<32
+	if h2 == 0 {
+		h2 = 0x9e3779b97f4a7c15
+	}
+	return h1, h2
+}
+
+// touch records one access to key.
+func (s *freqSketch) touch(key string) {
+	h1, h2 := s.hashes(key)
+	bit := h1 & s.mask
+	if s.door[bit/64]&(1<<(bit%64)) == 0 {
+		s.door[bit/64] |= 1 << (bit % 64)
+		return // first sighting stops at the doorkeeper
+	}
+	for i := range s.rows {
+		idx := (h1 + uint64(i)*h2) & s.mask
+		if s.rows[i][idx] < 15 {
+			s.rows[i][idx]++
+		}
+	}
+	s.samples++
+	if s.samples >= s.limit {
+		s.reset()
+	}
+}
+
+// estimate returns the sketch's frequency estimate for key, including
+// the doorkeeper bit.
+func (s *freqSketch) estimate(key string) int {
+	h1, h2 := s.hashes(key)
+	min := 255
+	for i := range s.rows {
+		idx := (h1 + uint64(i)*h2) & s.mask
+		if v := int(s.rows[i][idx]); v < min {
+			min = v
+		}
+	}
+	bit := h1 & s.mask
+	if s.door[bit/64]&(1<<(bit%64)) != 0 {
+		min++
+	}
+	return min
+}
+
+// reset halves every counter and clears the doorkeeper, aging the
+// estimates.
+func (s *freqSketch) reset() {
+	for i := range s.rows {
+		row := s.rows[i]
+		for j := range row {
+			row[j] >>= 1
+		}
+	}
+	for i := range s.door {
+		s.door[i] = 0
+	}
+	s.samples = 0
+}

@@ -1,0 +1,362 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"nsdfgo/internal/telemetry"
+)
+
+// fillConst returns a fill function serving a fixed payload and
+// counting its invocations.
+func fillConst(payload []byte, calls *atomic.Int64) func(context.Context) ([]byte, error) {
+	return func(context.Context) ([]byte, error) {
+		if calls != nil {
+			calls.Add(1)
+		}
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		return cp, nil
+	}
+}
+
+// TestGetOrFillCoalesces is the coalescing acceptance test: N
+// concurrent misses on one key run the fill exactly once, and the
+// nsdf_cache_coalesced_total series increments.
+func TestGetOrFillCoalesces(t *testing.T) {
+	c := NewMemTiered(1 << 20)
+	reg := telemetry.NewRegistry()
+	c.Instrument(reg, "test")
+
+	const readers = 8
+	var calls atomic.Int64
+	release := make(chan struct{})
+	fill := func(context.Context) ([]byte, error) {
+		calls.Add(1)
+		<-release // hold the flight open so the others pile in
+		return []byte("payload"), nil
+	}
+	var started, wg sync.WaitGroup
+	started.Add(readers)
+	wg.Add(readers)
+	errs := make(chan error, readers)
+	for i := 0; i < readers; i++ {
+		go func() {
+			defer wg.Done()
+			started.Done()
+			blk, _, err := c.GetOrFill(context.Background(), "k", fill)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if string(blk.Bytes()) != "payload" {
+				errs <- fmt.Errorf("wrong payload %q", blk.Bytes())
+			}
+			blk.Release()
+		}()
+	}
+	started.Wait()
+	close(release)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fill ran %d times, want exactly 1", got)
+	}
+	s := c.Stats()
+	// Every reader that did not run the fill was either coalesced into
+	// the flight or (if it arrived after completion) served from cache.
+	if s.Coalesced+s.Hits != readers-1 {
+		t.Errorf("coalesced=%d hits=%d, want %d combined", s.Coalesced, s.Hits, readers-1)
+	}
+	if s.Misses != 1 {
+		t.Errorf("misses = %d, want 1", s.Misses)
+	}
+	if s.Coalesced > 0 {
+		if got := reg.SumFamily("nsdf_cache_coalesced_total"); got != float64(s.Coalesced) {
+			t.Errorf("nsdf_cache_coalesced_total = %v, want %d", got, s.Coalesced)
+		}
+	}
+}
+
+func TestGetOrFillErrorPropagatesAndRetries(t *testing.T) {
+	c := NewMemTiered(1 << 20)
+	boom := errors.New("backend down")
+	var calls atomic.Int64
+	_, _, err := c.GetOrFill(context.Background(), "k", func(context.Context) ([]byte, error) {
+		calls.Add(1)
+		return nil, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// A failed flight must not be cached: the next call retries.
+	blk, _, err := c.GetOrFill(context.Background(), "k", fillConst([]byte("ok"), &calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk.Release()
+	if calls.Load() != 2 {
+		t.Errorf("fill calls = %d, want 2", calls.Load())
+	}
+}
+
+func TestGetOrFillWaiterCtxCancel(t *testing.T) {
+	c := NewMemTiered(1 << 20)
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+	var leaderBlk *Block
+	var leaderErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		leaderBlk, _, leaderErr = c.GetOrFill(context.Background(), "k", func(context.Context) ([]byte, error) {
+			close(leaderIn)
+			<-release
+			return []byte("v"), nil
+		})
+	}()
+	<-leaderIn
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.GetOrFill(ctx, "k", fillConst([]byte("v"), nil)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter err = %v", err)
+	}
+	close(release)
+	<-done
+	if leaderErr != nil {
+		t.Fatal(leaderErr)
+	}
+	leaderBlk.Release()
+	// Only the cache's own reference may remain on the resident block.
+	blk, ok := c.Get("k")
+	if !ok {
+		t.Fatal("k missing after flight")
+	}
+	if blk.refCount() != 2 { // cache + this Get
+		t.Errorf("refcount = %d, want 2 (abandoned waiter leaked a reference?)", blk.refCount())
+	}
+	blk.Release()
+}
+
+func TestTieredDisabledFillsWithoutCountingOrCoalescing(t *testing.T) {
+	c := NewMemTiered(0)
+	var calls atomic.Int64
+	for i := 0; i < 3; i++ {
+		blk, outcome, err := c.GetOrFill(context.Background(), "k", fillConst([]byte("v"), &calls))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outcome != OutcomeFilled {
+			t.Errorf("outcome = %v", outcome)
+		}
+		blk.Release()
+	}
+	if calls.Load() != 3 {
+		t.Errorf("disabled cache coalesced or cached: %d fills", calls.Load())
+	}
+	s := c.Stats()
+	if s.Hits != 0 || s.Misses != 0 || s.Coalesced != 0 {
+		t.Errorf("disabled cache counted traffic: %+v", s)
+	}
+}
+
+// TestAdmissionProtectsHotSet: after the hot set has been referenced
+// repeatedly, a one-pass scan of cold keys must not displace it.
+func TestAdmissionProtectsHotSet(t *testing.T) {
+	c := NewMemTiered(4 * 1024)
+	hot := []string{"h0", "h1", "h2", "h3"}
+	for _, k := range hot {
+		c.Put(k, make([]byte, 1024)).Release()
+	}
+	for i := 0; i < 10; i++ {
+		for _, k := range hot {
+			blk, ok := c.Get(k)
+			if !ok {
+				t.Fatalf("hot key %s missing during warm-up", k)
+			}
+			blk.Release()
+		}
+	}
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("scan%d", i), make([]byte, 1024)).Release()
+	}
+	for _, k := range hot {
+		if blk, ok := c.Get(k); !ok {
+			t.Errorf("scan evicted hot key %s", k)
+		} else {
+			blk.Release()
+		}
+	}
+	if s := c.Stats(); s.AdmissionRejects == 0 {
+		t.Error("no admission rejects recorded for the scan")
+	}
+
+	// Control: without admission the same scan flushes the hot set.
+	nc, err := NewTiered(Options{MemBytes: 4 * 1024, NoAdmission: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range hot {
+		nc.Put(k, make([]byte, 1024)).Release()
+	}
+	for i := 0; i < 10; i++ {
+		nc.Put(fmt.Sprintf("scan%d", i), make([]byte, 1024)).Release()
+	}
+	survived := 0
+	for _, k := range hot {
+		if blk, ok := nc.Get(k); ok {
+			survived++
+			blk.Release()
+		}
+	}
+	if survived != 0 {
+		t.Errorf("NoAdmission control: %d hot keys survived a full scan", survived)
+	}
+}
+
+func TestDiskTierSpillPromoteInvalidate(t *testing.T) {
+	dir := t.TempDir()
+	// NoAdmission makes eviction (and so disk spill) deterministic for a
+	// cold Put sequence.
+	c, err := NewTiered(Options{MemBytes: 2048, DiskDir: dir, DiskBytes: 1 << 20, NoAdmission: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := func(b byte) []byte {
+		data := make([]byte, 1024)
+		for i := range data {
+			data[i] = b
+		}
+		return data
+	}
+	c.Put("a", payload(1)).Release()
+	c.Put("b", payload(2)).Release()
+	c.Put("c", payload(3)).Release() // evicts a -> spills to disk
+	s := c.Stats()
+	if s.DiskEntries != 1 || s.DiskBytes != 1024 {
+		t.Fatalf("disk tier after spill: %+v", s)
+	}
+	blk, ok := c.Get("a")
+	if !ok {
+		t.Fatal("a lost from both tiers")
+	}
+	if blk.Bytes()[0] != 1 || blk.Len() != 1024 {
+		t.Fatalf("disk hit served wrong payload")
+	}
+	blk.Release()
+	if s := c.Stats(); s.DiskHits != 1 {
+		t.Errorf("disk hits = %d", s.DiskHits)
+	}
+	// Invalidation purges both tiers.
+	c.Put("a", payload(9)).Release()
+	c.Remove("a")
+	if _, ok := c.Get("a"); ok {
+		t.Error("removed key still served")
+	}
+	if files := diskFiles(t, dir); len(files) > 2 {
+		t.Errorf("disk tier holds %d files for 2 live entries", len(files))
+	}
+
+	// A new cache on the same directory wipes leftovers.
+	c2, err := NewTiered(Options{MemBytes: 2048, DiskDir: dir, DiskBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := c2.Stats(); s.DiskEntries != 0 {
+		t.Errorf("fresh cache inherited %d disk entries", s.DiskEntries)
+	}
+	if files := diskFiles(t, dir); len(files) != 0 {
+		t.Errorf("startup wipe left %d files", len(files))
+	}
+}
+
+func diskFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, de := range des {
+		if strings.HasSuffix(de.Name(), ".blk") {
+			out = append(out, filepath.Join(dir, de.Name()))
+		}
+	}
+	return out
+}
+
+// TestTieredStressRace mixes Get/Put/Remove/Clear/GetOrFill across
+// goroutines on a tiny two-tier cache (run under -race by `make race`).
+// Payload verification catches buffers recycled while referenced.
+func TestTieredStressRace(t *testing.T) {
+	c, err := NewTiered(Options{MemBytes: 4 << 10, DiskDir: t.TempDir(), DiskBytes: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1500; i++ {
+				k := (w*17 + i) % 24
+				key := fmt.Sprintf("k%d", k)
+				check := func(blk *Block) {
+					for _, b := range blk.Bytes() {
+						if b != byte(k) {
+							t.Errorf("key %s served foreign payload %d", key, b)
+							break
+						}
+					}
+					blk.Release()
+				}
+				mk := func() []byte {
+					data := make([]byte, 128+k)
+					for j := range data {
+						data[j] = byte(k)
+					}
+					return data
+				}
+				switch i % 8 {
+				case 0, 1, 2:
+					if blk, ok := c.Get(key); ok {
+						check(blk)
+					}
+				case 3, 4:
+					blk, _, err := c.GetOrFill(context.Background(), key, func(context.Context) ([]byte, error) {
+						return mk(), nil
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					check(blk)
+				case 5, 6:
+					c.Put(key, mk()).Release()
+				case 7:
+					if i%56 == 7 {
+						c.Clear()
+					} else {
+						c.Remove(key)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Bytes < 0 || s.Entries < 0 || s.DiskBytes < 0 {
+		t.Errorf("corrupt stats: %+v", s)
+	}
+}

@@ -65,12 +65,19 @@ func readBoxPerSample(d *Dataset, field string, t int, box Box, level int) (*ras
 	}
 
 	blocks := make(map[int][]byte, len(needSet))
+	var held []*cache.Block
+	defer func() {
+		for _, blk := range held {
+			blk.Release()
+		}
+	}()
 	var misses []int
 	for b := range needSet {
 		if d.cache != nil {
-			if raw, ok := d.cache.Get(d.BlockKey(field, t, b)); ok {
+			if blk, ok := d.cache.Get(d.BlockKey(field, t, b)); ok {
 				stats.BlocksCached++
-				blocks[b] = raw
+				held = append(held, blk)
+				blocks[b] = blk.Bytes()
 				continue
 			}
 		}
@@ -78,13 +85,14 @@ func readBoxPerSample(d *Dataset, field string, t int, box Box, level int) (*ras
 	}
 	sort.Ints(misses)
 	for _, b := range misses {
-		raw, n, err := d.fetchBlock(context.Background(), field, t, b, codec, rawBlockLen, nil)
+		blk, n, _, err := d.fetchBlockKey(context.Background(), d.BlockKey(field, t, b), b, codec, rawBlockLen, nil)
 		if err != nil {
 			return nil, nil, err
 		}
 		stats.BlocksRead++
 		stats.BytesRead += n
-		blocks[b] = raw
+		held = append(held, blk)
+		blocks[b] = blk.Bytes()
 	}
 
 	for i, hzAddr := range addrs {

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nsdfgo/internal/cache"
 	"nsdfgo/internal/compress"
 	"nsdfgo/internal/hz"
 	"nsdfgo/internal/raster"
@@ -36,6 +37,7 @@ type Dataset struct {
 
 	be               Backend
 	cache            BlockCache
+	fillCache        FillerCache
 	parallelism      int
 	writeParallelism int
 	tel              *dsMetrics
@@ -49,12 +51,54 @@ type Dataset struct {
 
 // BlockCache is an optional block-level cache consulted before the
 // Backend on reads ("the caching-enabled framework"). The cache package
-// provides a size-bounded LRU implementation.
+// provides the implementations (cache.LRU, cache.Tiered). Blocks are
+// ref-counted shared memory: Get hands out the resident payload without
+// copying, and Put adopts the decode buffer instead of copying it.
 type BlockCache interface {
-	// Get returns the cached block payload, if present.
-	Get(key string) ([]byte, bool)
-	// Put offers a block payload to the cache.
-	Put(key string, data []byte)
+	// Get returns the cached block, if present. The Block carries one
+	// reference owned by the caller, who must Release it after use and
+	// treat Bytes as read-only.
+	Get(key string) (*cache.Block, bool)
+	// Put adopts data as an immutable cached block and returns it with
+	// one caller reference (valid even when the cache declines the
+	// entry). The caller must not write to data after Put.
+	Put(key string, data []byte) *cache.Block
+}
+
+// FillerCache is a BlockCache that can also coalesce concurrent fills
+// of one key (cache.Tiered). When the attached cache implements it, the
+// read paths route misses through GetOrFill, so N concurrent readers of
+// the same uncached block share a single backend fetch instead of
+// issuing a thundering herd against the object store.
+type FillerCache interface {
+	BlockCache
+	// GetOrFill returns the block for key, running fill at most once
+	// across concurrent callers. See cache.Tiered.GetOrFill.
+	GetOrFill(ctx context.Context, key string, fill func(ctx context.Context) ([]byte, error)) (*cache.Block, cache.Outcome, error)
+}
+
+// cacheRemover is the optional invalidation face of a BlockCache; the
+// write paths use it to purge every tier before refreshing an entry.
+type cacheRemover interface {
+	Remove(key string)
+}
+
+// blockPeeker is the optional uncounted-probe face of a BlockCache
+// (cache.Tiered.Peek). The read paths probe every block in an assembly
+// pre-pass before routing the misses through GetOrFill, which books the
+// authoritative miss — so the pre-pass must not count one too, or every
+// cold block would register two misses.
+type blockPeeker interface {
+	Peek(key string) (*cache.Block, bool)
+}
+
+// cachePeek probes the attached cache without miss accounting when the
+// cache supports it, falling back to a counted Get.
+func (d *Dataset) cachePeek(key string) (*cache.Block, bool) {
+	if p, ok := d.cache.(blockPeeker); ok {
+		return p.Peek(key)
+	}
+	return d.cache.Get(key)
 }
 
 // Create initialises a new dataset in the backend by writing its
@@ -102,8 +146,13 @@ func Open(ctx context.Context, be Backend) (*Dataset, error) {
 	return &Dataset{Meta: meta, be: be}, nil
 }
 
-// SetCache attaches a block cache used by subsequent reads.
-func (d *Dataset) SetCache(c BlockCache) { d.cache = c }
+// SetCache attaches a block cache used by subsequent reads. Caches that
+// also implement FillerCache get misses routed through GetOrFill
+// (request coalescing).
+func (d *Dataset) SetCache(c BlockCache) {
+	d.cache = c
+	d.fillCache, _ = c.(FillerCache)
+}
 
 // SetFetchParallelism bounds how many block fetches a single ReadBox may
 // issue concurrently against the backend. 1 (the default) fetches
@@ -168,17 +217,12 @@ func (d *Dataset) readErr(err error) error {
 	return err
 }
 
-// fetchBlock gets one block from the backend, decodes it, and offers it
-// to the cache. It returns the decoded payload and the compressed size.
-// sc, when non-nil, accumulates the fetch and decode stage times (and,
-// when the request is traced, records a per-block storage.get span).
-func (d *Dataset) fetchBlock(ctx context.Context, field string, t, b int, codec compress.Codec, rawBlockLen int, sc *stageClock) ([]byte, int64, error) {
-	return d.fetchBlockKey(ctx, d.BlockKey(field, t, b), b, codec, rawBlockLen, sc)
-}
-
-// fetchBlockKey is fetchBlock with the object name precomputed, so hot
-// paths holding a blockKeys table skip the formatting.
-func (d *Dataset) fetchBlockKey(ctx context.Context, key string, b int, codec compress.Codec, rawBlockLen int, sc *stageClock) ([]byte, int64, error) {
+// fetchDecode gets one block from the backend and decodes it — the raw
+// fetch under every cache layer. It returns the decoded payload and the
+// compressed size. sc, when non-nil, accumulates the fetch and decode
+// stage times (and, when the request is traced, records a per-block
+// storage.get span).
+func (d *Dataset) fetchDecode(ctx context.Context, key string, b int, codec compress.Codec, rawBlockLen int, sc *stageClock) ([]byte, int64, error) {
 	var t0 time.Time
 	if sc != nil {
 		t0 = time.Now()
@@ -205,10 +249,37 @@ func (d *Dataset) fetchBlockKey(ctx context.Context, key string, b int, codec co
 	if err != nil {
 		return nil, 0, fmt.Errorf("idx: decode block %d: %w", b, err)
 	}
-	if d.cache != nil {
-		d.cache.Put(key, raw)
-	}
 	return raw, int64(len(enc)), nil
+}
+
+// fetchBlockKey returns one block as a ref-counted cache Block (the
+// caller must Release it). Misses go through the cache's GetOrFill when
+// available, so concurrent fetches of the same key coalesce into one
+// backend Get. encLen is the compressed bytes this call actually
+// fetched — 0 when the block was served from cache or from another
+// caller's in-flight fetch. cached reports a cache-tier hit.
+func (d *Dataset) fetchBlockKey(ctx context.Context, key string, b int, codec compress.Codec, rawBlockLen int, sc *stageClock) (blk *cache.Block, encLen int64, cached bool, err error) {
+	if d.fillCache != nil {
+		var fetched int64
+		blk, outcome, err := d.fillCache.GetOrFill(ctx, key, func(ctx context.Context) ([]byte, error) {
+			raw, n, err := d.fetchDecode(ctx, key, b, codec, rawBlockLen, sc)
+			fetched = n
+			return raw, err
+		})
+		if err != nil {
+			return nil, 0, false, err
+		}
+		hit := outcome == cache.OutcomeHit || outcome == cache.OutcomeDiskHit
+		return blk, fetched, hit, nil
+	}
+	raw, n, err := d.fetchDecode(ctx, key, b, codec, rawBlockLen, sc)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if d.cache != nil {
+		return d.cache.Put(key, raw), n, false, nil
+	}
+	return cache.NewBlock(raw), n, false, nil
 }
 
 // Backend returns the dataset's backend.
@@ -597,9 +668,10 @@ func (d *Dataset) ReadBox(ctx context.Context, field string, t int, box Box, lev
 	miss := spans[:0]
 	for _, sp := range spans {
 		if d.cache != nil {
-			if raw, ok := d.cache.Get(blockKey(sp.block)); ok {
+			if blk, ok := d.cachePeek(blockKey(sp.block)); ok {
 				stats.BlocksCached++
-				assemble(raw, sp)
+				assemble(blk.Bytes(), sp)
+				blk.Release()
 				continue
 			}
 		}
@@ -616,13 +688,18 @@ func (d *Dataset) ReadBox(ctx context.Context, field string, t int, box Box, lev
 			if err := ctx.Err(); err != nil {
 				return nil, nil, d.readErr(err)
 			}
-			raw, n, err := d.fetchBlockKey(ctx, blockKey(sp.block), sp.block, codec, rawBlockLen, sc)
+			blk, n, cached, err := d.fetchBlockKey(ctx, blockKey(sp.block), sp.block, codec, rawBlockLen, sc)
 			if err != nil {
 				return nil, nil, d.readErr(err)
 			}
-			stats.BlocksRead++
-			stats.BytesRead += n
-			assemble(raw, sp)
+			if cached {
+				stats.BlocksCached++
+			} else {
+				stats.BlocksRead++
+				stats.BytesRead += n
+			}
+			assemble(blk.Bytes(), sp)
+			blk.Release()
 		}
 	} else if err := d.fetchSpans(ctx, miss, workers, blockKey, codec, rawBlockLen, stats, assemble, sc); err != nil {
 		return nil, nil, d.readErr(err)
@@ -669,10 +746,11 @@ func (d *Dataset) fetchSpans(ctx context.Context, miss []blockSpan, workers int,
 	blockKey func(int) string, codec compress.Codec, rawBlockLen int,
 	stats *ReadStats, assemble func([]byte, blockSpan), sc *stageClock) error {
 	type fetched struct {
-		sp  blockSpan
-		raw []byte
-		n   int64
-		err error
+		sp     blockSpan
+		blk    *cache.Block
+		n      int64
+		cached bool
+		err    error
 	}
 	work := make(chan blockSpan)
 	results := make(chan fetched)
@@ -682,10 +760,15 @@ func (d *Dataset) fetchSpans(ctx context.Context, miss []blockSpan, workers int,
 		go func() {
 			defer wg.Done()
 			for sp := range work {
-				raw, n, err := d.fetchBlockKey(ctx, blockKey(sp.block), sp.block, codec, rawBlockLen, sc)
+				blk, n, cached, err := d.fetchBlockKey(ctx, blockKey(sp.block), sp.block, codec, rawBlockLen, sc)
 				select {
-				case results <- fetched{sp: sp, raw: raw, n: n, err: err}:
+				case results <- fetched{sp: sp, blk: blk, n: n, cached: cached, err: err}:
 				case <-ctx.Done():
+					// The collector will never see this block; drop our
+					// reference so its buffer can be recycled.
+					if blk != nil {
+						blk.Release()
+					}
 					return
 				}
 			}
@@ -713,9 +796,14 @@ func (d *Dataset) fetchSpans(ctx context.Context, miss []blockSpan, workers int,
 			}
 			continue
 		}
-		stats.BlocksRead++
-		stats.BytesRead += r.n
-		assemble(r.raw, r.sp)
+		if r.cached {
+			stats.BlocksCached++
+		} else {
+			stats.BlocksRead++
+			stats.BytesRead += r.n
+		}
+		assemble(r.blk.Bytes(), r.sp)
+		r.blk.Release()
 	}
 	if firstErr == nil {
 		firstErr = ctx.Err()

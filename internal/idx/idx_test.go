@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"nsdfgo/internal/cache"
 	"nsdfgo/internal/dem"
 	"nsdfgo/internal/raster"
 )
@@ -526,27 +527,36 @@ func TestStoredBytes(t *testing.T) {
 
 // countingCache wraps a map to observe cache traffic.
 type countingCache struct {
-	m          map[string][]byte
+	m          map[string]*cache.Block
 	gets, hits int
 }
 
-func (c *countingCache) Get(key string) ([]byte, bool) {
+func (c *countingCache) Get(key string) (*cache.Block, bool) {
 	c.gets++
-	v, ok := c.m[key]
+	blk, ok := c.m[key]
 	if ok {
 		c.hits++
+		blk.Acquire()
 	}
-	return v, ok
+	return blk, ok
 }
 
-func (c *countingCache) Put(key string, data []byte) { c.m[key] = data }
+func (c *countingCache) Put(key string, data []byte) *cache.Block {
+	blk := cache.NewBlock(data)
+	blk.Acquire() // the map's reference
+	if old, ok := c.m[key]; ok {
+		old.Release()
+	}
+	c.m[key] = blk
+	return blk
+}
 
 func TestBlockCacheUsed(t *testing.T) {
 	ds, _ := newTestDataset(t, 64, 64, float32Fields())
 	if err := ds.WriteGrid(context.Background(), "elevation", 0, rampGrid(64, 64)); err != nil {
 		t.Fatal(err)
 	}
-	c := &countingCache{m: map[string][]byte{}}
+	c := &countingCache{m: map[string]*cache.Block{}}
 	ds.SetCache(c)
 	if _, stats, err := ds.ReadFull(context.Background(), "elevation", 0); err != nil {
 		t.Fatal(err)

@@ -59,6 +59,12 @@ func (d *Dataset) WriteRegion(ctx context.Context, field string, t int, x0, y0 i
 		X0: x0, Y0: y0, NX: g.W, NY: g.H, Level: mask.Bits(), OutW: g.W,
 	})
 	keys := d.blockKeys(field, t)
+	blockKey := func(b int) string {
+		if keys != nil {
+			return keys[b]
+		}
+		return d.BlockKey(field, t, b)
+	}
 
 	// Read-modify-write each touched block, in ascending block order.
 	// Checking ctx once per span keeps a cancelled tile writer from
@@ -68,44 +74,51 @@ func (d *Dataset) WriteRegion(ctx context.Context, field string, t int, x0, y0 i
 			return err
 		}
 		b := sp.block
-		key := ""
-		if keys != nil {
-			key = keys[b]
-		} else {
-			key = d.BlockKey(field, t, b)
-		}
+		key := blockKey(b)
 		var raw []byte
-		var getStart time.Time
-		if sc != nil {
-			getStart = time.Now()
-		}
-		enc, err := d.be.Get(ctx, key)
-		if sc != nil {
-			getEnd := time.Now()
-			sc.fetchNS.Add(int64(getEnd.Sub(getStart)))
-			if sc.traced {
-				trace.Record(ctx, "storage.get", getStart, getEnd,
-					trace.Str("dataset", d.name),
-					trace.Int("block", int64(b)))
+		// The RMW read is served from the cache when possible: cached
+		// blocks are immutable shared memory, so the modify step works on
+		// a private copy instead of mutating what other readers hold.
+		if d.cache != nil {
+			if blk, ok := d.cachePeek(key); ok {
+				raw = make([]byte, blk.Len())
+				copy(raw, blk.Bytes())
+				blk.Release()
 			}
 		}
-		switch {
-		case err == nil:
-			raw, err = codec.Decode(enc, rawBlockLen)
-			if err != nil {
-				return fmt.Errorf("idx: decode block %d: %w", b, err)
+		if raw == nil {
+			var getStart time.Time
+			if sc != nil {
+				getStart = time.Now()
 			}
-		case IsNotExist(err):
-			// Initialise a fresh block: every slot (written-region samples,
-			// not-yet-written samples, and pow2 padding) starts at the
-			// field's fill value.
-			raw = make([]byte, rawBlockLen)
-			f.Type.putSample(raw, f.Fill)
-			for i := 1; i < blockSamples; i++ {
-				copy(raw[i*sz:(i+1)*sz], raw[:sz])
+			enc, err := d.be.Get(ctx, key)
+			if sc != nil {
+				getEnd := time.Now()
+				sc.fetchNS.Add(int64(getEnd.Sub(getStart)))
+				if sc.traced {
+					trace.Record(ctx, "storage.get", getStart, getEnd,
+						trace.Str("dataset", d.name),
+						trace.Int("block", int64(b)))
+				}
 			}
-		default:
-			return fmt.Errorf("idx: read block %d: %w", b, err)
+			switch {
+			case err == nil:
+				raw, err = codec.Decode(enc, rawBlockLen)
+				if err != nil {
+					return fmt.Errorf("idx: decode block %d: %w", b, err)
+				}
+			case IsNotExist(err):
+				// Initialise a fresh block: every slot (written-region samples,
+				// not-yet-written samples, and pow2 padding) starts at the
+				// field's fill value.
+				raw = make([]byte, rawBlockLen)
+				f.Type.putSample(raw, f.Fill)
+				for i := 1; i < blockSamples; i++ {
+					copy(raw[i*sz:(i+1)*sz], raw[:sz])
+				}
+			default:
+				return fmt.Errorf("idx: read block %d: %w", b, err)
+			}
 		}
 		for _, r := range runs[sp.lo:sp.hi] {
 			off := int(r.HZ&uint64(blockSamples-1)) * sz
@@ -133,8 +146,14 @@ func (d *Dataset) WriteRegion(ctx context.Context, field string, t int, x0, y0 i
 			}
 		}
 		if d.cache != nil {
-			// Invalidate/refresh: offer the updated payload.
-			d.cache.Put(key, raw)
+			// Invalidate every tier first (a disk tier may hold the old
+			// payload, and a refresh rejected by admission must not leave
+			// it there), then refresh. Put adopts raw, which this
+			// iteration no longer writes to.
+			if r, ok := d.cache.(cacheRemover); ok {
+				r.Remove(key)
+			}
+			d.cache.Put(key, raw).Release()
 		}
 	}
 	return nil

@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"nsdfgo/internal/cache"
 	"nsdfgo/internal/raster"
 )
 
@@ -146,7 +147,7 @@ func TestWriteRegionRefreshesCache(t *testing.T) {
 	if err := ds.WriteGrid(context.Background(), "elevation", 0, rampGrid(32, 32)); err != nil {
 		t.Fatal(err)
 	}
-	c := &countingCache{m: map[string][]byte{}}
+	c := &countingCache{m: map[string]*cache.Block{}}
 	ds.SetCache(c)
 	if _, _, err := ds.ReadFull(context.Background(), "elevation", 0); err != nil { // warm
 		t.Fatal(err)

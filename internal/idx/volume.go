@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nsdfgo/internal/cache"
 	"nsdfgo/internal/compress"
 	"nsdfgo/internal/hz"
 	"nsdfgo/internal/telemetry/trace"
@@ -90,6 +91,14 @@ func (d *Dataset) WriteVolume(ctx context.Context, field string, t int, data []f
 	defer span.End()
 	sc := d.newStageClock(span != nil)
 
+	keys := d.blockKeys(field, t)
+	blockKey := func(b int) string {
+		if keys != nil {
+			return keys[b]
+		}
+		return d.BlockKey(field, t, b)
+	}
+
 	// The aborted flag mirrors WriteGrid's early abort: one worker's
 	// encode/store failure stops the others at their next block claim.
 	workers := d.writeWorkers(numBlocks)
@@ -143,7 +152,7 @@ func (d *Dataset) WriteVolume(ctx context.Context, field string, t int, data []f
 					putStart = time.Now()
 					sc.encodeNS.Add(int64(putStart.Sub(encStart)))
 				}
-				if err := d.be.Put(ctx, d.BlockKey(field, t, b), enc); err != nil {
+				if err := d.be.Put(ctx, blockKey(b), enc); err != nil {
 					aborted.Store(true)
 					errCh <- fmt.Errorf("idx: store block %d: %w", b, err)
 					return
@@ -294,14 +303,28 @@ func (d *Dataset) ReadBox3D(ctx context.Context, field string, t int, box Box3, 
 	}
 
 	// Fetch (cache first, then backend; serial is fine here — the 2D path
-	// demonstrates the parallel fetch, and both share fetchBlock).
-	blocks := make(map[int][]byte, len(needSet))
+	// demonstrates the parallel fetch, and both share fetchBlockKey).
+	// Block names come from the precomputed blockKeys table, not a
+	// per-block Sprintf in the hot loop.
+	keys := d.blockKeys(field, t)
+	blockKey := func(b int) string {
+		if keys != nil {
+			return keys[b]
+		}
+		return d.BlockKey(field, t, b)
+	}
+	blocks := make(map[int]*cache.Block, len(needSet))
+	defer func() {
+		for _, blk := range blocks {
+			blk.Release()
+		}
+	}()
 	misses := make([]int, 0, len(needSet))
 	for b := range needSet {
 		if d.cache != nil {
-			if raw, ok := d.cache.Get(d.BlockKey(field, t, b)); ok {
+			if blk, ok := d.cachePeek(blockKey(b)); ok {
 				stats.BlocksCached++
-				blocks[b] = raw
+				blocks[b] = blk
 				continue
 			}
 		}
@@ -312,13 +335,17 @@ func (d *Dataset) ReadBox3D(ctx context.Context, field string, t int, box Box3, 
 		if err := ctx.Err(); err != nil {
 			return nil, nil, d.readErr(err)
 		}
-		raw, n, err := d.fetchBlock(ctx, field, t, b, codec, rawBlockLen, sc)
+		blk, n, cached, err := d.fetchBlockKey(ctx, blockKey(b), b, codec, rawBlockLen, sc)
 		if err != nil {
 			return nil, nil, d.readErr(err)
 		}
-		stats.BlocksRead++
-		stats.BytesRead += n
-		blocks[b] = raw
+		if cached {
+			stats.BlocksCached++
+		} else {
+			stats.BlocksRead++
+			stats.BytesRead += n
+		}
+		blocks[b] = blk
 	}
 
 	// Assemble.
@@ -327,7 +354,7 @@ func (d *Dataset) ReadBox3D(ctx context.Context, field string, t int, box Box3, 
 		asmStart = time.Now()
 	}
 	for i, hzAddr := range addrs {
-		raw := blocks[int(hzAddr>>d.Meta.BitsPerBlock)]
+		raw := blocks[int(hzAddr>>d.Meta.BitsPerBlock)].Bytes()
 		off := int(hzAddr&uint64(blockSamples-1)) * sz
 		out.Data[i] = f.Type.getSample(raw[off:])
 	}

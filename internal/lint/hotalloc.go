@@ -11,11 +11,15 @@ import (
 // internal/hz, internal/cache by default): inside loops it flags
 // fmt.Sprintf/Sprint/Sprintln, string concatenation, and append to a
 // slice declared without capacity — the allocation patterns whose
-// removal bought the read path its 13.5x allocation win. Code outside
-// loops, and loops in other packages, are not the hot path and pass.
+// removal bought the read path its 13.5x allocation win. The Sprintf
+// check is interprocedural one level deep: calling a package-local
+// function that itself formats with fmt (a key builder like BlockKey)
+// from inside a loop is the same per-iteration allocation wearing a
+// helper's name, and is flagged the same way. Code outside loops, and
+// loops in other packages, are not the hot path and pass.
 var HotAllocAnalyzer = &Analyzer{
 	Name: "hotalloc",
-	Doc:  "no Sprintf, string concatenation, or unpreallocated append inside hot-path loops",
+	Doc:  "no Sprintf (direct or via a local formatting helper), string concatenation, or unpreallocated append inside hot-path loops",
 	Run:  runHotAlloc,
 }
 
@@ -33,6 +37,7 @@ func runHotAlloc(pass *Pass) {
 		return
 	}
 	info := pass.Pkg.Info
+	formatters := localFormatters(pass)
 	for _, file := range pass.Pkg.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -45,9 +50,13 @@ func runHotAlloc(pass *Pass) {
 				}
 				switch e := n.(type) {
 				case *ast.CallExpr:
-					if fn := calleeFunc(info, e); fn != nil && fn.Pkg() != nil &&
-						fn.Pkg().Path() == "fmt" && fmtAllocFuncs[fn.Name()] {
-						pass.Reportf(e.Pos(), "fmt.%s inside a loop allocates per iteration; format outside the loop or write into a reused buffer", fn.Name())
+					if fn := calleeFunc(info, e); fn != nil {
+						if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && fmtAllocFuncs[fn.Name()] {
+							pass.Reportf(e.Pos(), "fmt.%s inside a loop allocates per iteration; format outside the loop or write into a reused buffer", fn.Name())
+						}
+						if formatters[fn] {
+							pass.Reportf(e.Pos(), "%s formats with fmt and allocates per iteration inside a loop; precompute the strings outside the loop", fn.Name())
+						}
 					}
 					if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
 						if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "append" {
@@ -67,6 +76,38 @@ func runHotAlloc(pass *Pass) {
 			})
 		}
 	}
+}
+
+// localFormatters collects the package's functions and methods whose
+// bodies call fmt.Sprintf/Sprint/Sprintln directly — one-level-deep
+// formatting helpers whose every call allocates the formatted string.
+func localFormatters(pass *Pass) map[*types.Func]bool {
+	info := pass.Pkg.Info
+	out := map[*types.Func]bool{}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			def, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "fmt" && fmtAllocFuncs[fn.Name()] {
+					out[def] = true
+				}
+				return true
+			})
+		}
+	}
+	return out
 }
 
 // checkLoopAppend flags append calls in loops whose destination slice

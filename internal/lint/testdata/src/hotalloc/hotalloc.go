@@ -20,6 +20,28 @@ func violations(items []int, base string) string {
 	return out
 }
 
+// blockName is a formatting helper: it calls fmt.Sprintf, so calling it
+// from a loop allocates per iteration just like an inline Sprintf.
+func blockName(b int) string {
+	return fmt.Sprintf("b%08d", b)
+}
+
+func hiddenFormatter(items []int) []string {
+	names := make([]string, 0, len(items))
+	for i := range items {
+		names = append(names, blockName(i)) // want: formatter helper in a loop
+	}
+	return names
+}
+
+func hoistedFormatter(items []int) string {
+	name := blockName(len(items)) // ok: outside any loop
+	for range items {
+		_ = name
+	}
+	return name
+}
+
 func preallocated(items []int) []string {
 	keys := make([]string, 0, len(items)) // ok: capacity stated up front
 	for range items {

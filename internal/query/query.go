@@ -69,15 +69,22 @@ type Result struct {
 // Engine evaluates Requests against one dataset.
 type Engine struct {
 	ds      *idx.Dataset
-	cache   *cache.LRU
+	cache   *cache.Tiered
 	tracker *AccessTracker
 	name    string
 }
 
-// New wraps a dataset with a block cache of cacheBytes (0 disables
-// caching).
+// New wraps a dataset with an in-memory block cache of cacheBytes (0
+// disables caching). The cache coalesces concurrent fetches of one
+// block; use NewWithCache to add a disk tier.
 func New(ds *idx.Dataset, cacheBytes int64) *Engine {
-	e := &Engine{ds: ds, cache: cache.NewLRU(cacheBytes)}
+	return NewWithCache(ds, cache.NewMemTiered(cacheBytes))
+}
+
+// NewWithCache wraps a dataset with a caller-built tiered cache, so
+// servers can configure a disk tier or disable admission.
+func NewWithCache(ds *idx.Dataset, c *cache.Tiered) *Engine {
+	e := &Engine{ds: ds, cache: c}
 	ds.SetCache(e.cache)
 	return e
 }
@@ -95,8 +102,8 @@ func (e *Engine) CacheStats() cache.Stats { return e.cache.Stats() }
 
 // Instrument wires the engine's dataset and block cache into a telemetry
 // registry, labelling both with the given dataset name. See
-// idx.Dataset.SetTelemetry and cache.LRU.Instrument for the series. The
-// name also labels the spans the engine records into active request
+// idx.Dataset.SetTelemetry and cache.Tiered.Instrument for the series.
+// The name also labels the spans the engine records into active request
 // traces.
 func (e *Engine) Instrument(reg *telemetry.Registry, name string) {
 	e.name = name

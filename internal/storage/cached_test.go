@@ -1,0 +1,102 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"nsdfgo/internal/cache"
+)
+
+// countingStore wraps a Store and counts Gets.
+type countingStore struct {
+	Store
+	gets atomic.Int64
+}
+
+func (s *countingStore) Get(ctx context.Context, key string) ([]byte, error) {
+	s.gets.Add(1)
+	return s.Store.Get(ctx, key)
+}
+
+func TestCachedGetReadThroughAndInvalidate(t *testing.T) {
+	ctx := context.Background()
+	inner := &countingStore{Store: NewMemStore()}
+	c := NewCached(inner, cache.NewMemTiered(1<<20))
+	if err := c.Put(ctx, "obj/a", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := c.Get(ctx, "obj/a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "v1" {
+			t.Fatalf("Get = %q", got)
+		}
+	}
+	if n := inner.gets.Load(); n != 1 {
+		t.Errorf("inner Gets = %d, want 1 (read-through not caching)", n)
+	}
+	// Callers own the returned slice: mutating it must not corrupt the
+	// cached payload.
+	got, _ := c.Get(ctx, "obj/a")
+	got[0] = 'X'
+	again, _ := c.Get(ctx, "obj/a")
+	if string(again) != "v1" {
+		t.Error("caller mutation leaked into the cache")
+	}
+
+	// Put invalidates.
+	if err := c.Put(ctx, "obj/a", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get(ctx, "obj/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v2" {
+		t.Errorf("stale read after Put: %q", got)
+	}
+
+	// Delete invalidates; misses are not cached.
+	if err := c.Delete(ctx, "obj/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(ctx, "obj/a"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("Get after Delete = %v", err)
+	}
+	if err := c.Put(ctx, "obj/a", []byte("v3")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c.Get(ctx, "obj/a"); err != nil || string(got) != "v3" {
+		t.Errorf("Get after miss+Put = %q, %v (error cached?)", got, err)
+	}
+}
+
+func TestCachedCoalescesConcurrentGets(t *testing.T) {
+	ctx := context.Background()
+	inner := &countingStore{Store: NewMemStore()}
+	if err := inner.Put(ctx, "obj/b", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	tc := cache.NewMemTiered(1 << 20)
+	c := NewCached(inner, tc)
+	const readers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got, err := c.Get(ctx, "obj/b"); err != nil || string(got) != "payload" {
+				t.Errorf("Get = %q, %v", got, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := inner.gets.Load(); n != 1 {
+		t.Errorf("inner Gets = %d, want 1", n)
+	}
+}
