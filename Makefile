@@ -1,11 +1,12 @@
 # Developer entry points. `make check` is the full gate: tier-1
 # (build + test, matching ROADMAP.md) plus vet, the race detector, the
 # nsdf-lint analyzer suite, a 5-second smoke of each fuzz target, and a
-# 1-iteration smoke of the read-path benchmark harness.
+# reduced-size smoke of every benchmark harness (read path, trace
+# overhead, block cache, sharded tier, compression).
 
 GO ?= go
 
-.PHONY: build test vet race lint fuzz-smoke check bench-readpath bench-readpath-smoke bench-trace bench-trace-smoke bench-cache bench-cache-smoke
+.PHONY: build test vet race lint fuzz-smoke check bench-readpath bench-readpath-smoke bench-trace bench-trace-smoke bench-cache bench-cache-smoke bench-shard bench-shard-smoke bench-compression bench-compression-smoke
 
 build:
 	$(GO) build ./...
@@ -70,5 +71,32 @@ bench-cache:
 bench-cache-smoke:
 	NSDF_BENCH_CACHE_ITERS=1 $(GO) test ./internal/cache -run '^TestBenchCacheEmit$$' -count=1
 
-check: build test vet race lint fuzz-smoke bench-readpath-smoke bench-trace-smoke bench-cache-smoke
+# Measure the sharded block tier — aggregate cold-read throughput at
+# N=1/2/4 nodes, hedged-read p99 under a heavy-tail network profile,
+# failover under node loss — and refresh BENCH_shard.json. Fails if the
+# acceptance gates slip (>=2x scaling at N=4, >=30% p99 cut at <5%
+# extra backend gets).
+bench-shard:
+	NSDF_BENCH_SHARD_ITERS=5 NSDF_BENCH_SHARD_OUT=$(CURDIR)/BENCH_shard.json \
+		$(GO) test ./internal/shard -run '^TestBenchShardEmit$$' -count=1 -v -timeout 20m
+
+# Reduced-size smoke of the shard harness (temp output, no gating):
+# keeps it compiling and running under `make check`.
+bench-shard-smoke:
+	NSDF_BENCH_SHARD_ITERS=1 $(GO) test ./internal/shard -run '^TestBenchShardEmit$$' -count=1
+
+# Measure the block codecs on a synthetic float32 terrain raster —
+# encoded size, decode latency, max abs error — and refresh
+# BENCH_compression.json. Fails if shuffle4-zlib stops beating plain
+# zlib by >=15% (the paper's TIFF-to-IDX shrink was ~20%).
+bench-compression:
+	NSDF_BENCH_COMPRESSION_ITERS=20 NSDF_BENCH_COMPRESSION_OUT=$(CURDIR)/BENCH_compression.json \
+		$(GO) test ./internal/compress -run '^TestBenchCompressionEmit$$' -count=1 -v
+
+# One-iteration smoke of the compression harness (temp output, no
+# ratio gate): keeps it compiling and running under `make check`.
+bench-compression-smoke:
+	NSDF_BENCH_COMPRESSION_ITERS=1 $(GO) test ./internal/compress -run '^TestBenchCompressionEmit$$' -count=1
+
+check: build test vet race lint fuzz-smoke bench-readpath-smoke bench-trace-smoke bench-cache-smoke bench-shard-smoke bench-compression-smoke
 	@echo "check: all gates passed"

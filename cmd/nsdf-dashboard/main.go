@@ -11,6 +11,8 @@
 //
 //	nsdf-dashboard -addr :8080 -data name=./tennessee.idxdata
 //	nsdf-dashboard -demo -slow-request 250ms -log-format json
+//	nsdf-dashboard -peers a=http://h1:9000,b=http://h2:9000 \
+//	    -replicas 2 -hedge-after 30ms -data tennessee=datasets/tennessee
 package main
 
 import (
@@ -30,6 +32,8 @@ import (
 	"nsdfgo/internal/geotiled"
 	"nsdfgo/internal/idx"
 	"nsdfgo/internal/query"
+	"nsdfgo/internal/shard"
+	"nsdfgo/internal/storage"
 	"nsdfgo/internal/telemetry"
 	"nsdfgo/internal/telemetry/trace"
 )
@@ -63,8 +67,12 @@ func run() error {
 	logFormat := flag.String("log-format", telemetry.LogFormatText, "log encoding: text or json")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
 	traceBuffer := flag.Int("trace-buffer", trace.DefaultCapacity, "completed traces retained for /debug/traces")
+	peers := flag.String("peers", "", "comma-separated name=url store nodes forming the sharded block tier; -data specs then name key prefixes inside it")
+	peerToken := flag.String("peer-token", "", "bearer token for the sharded tier's stores (with -peers)")
+	replicaCount := flag.Int("replicas", 2, "replicas per block key across the sharded tier (with -peers)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "fire a hedged block read at the next replica after this delay; pick a p99-ish value (0 disables hedging)")
 	var data dataFlags
-	flag.Var(&data, "data", "dataset as name=path/to/idx/dir (repeatable)")
+	flag.Var(&data, "data", "dataset as name=path/to/idx/dir, or name=key/prefix with -peers (repeatable)")
 	flag.Parse()
 
 	logger, err := telemetry.NewLogger(os.Stderr, *logFormat)
@@ -91,15 +99,47 @@ func run() error {
 		}
 		return cache.NewTiered(opts)
 	}
+	// With -peers, datasets live in the sharded block tier rather than on
+	// local disk: the router (replication, hedged reads, failover) drops
+	// under storage.Instrumented and the IDX backend adapter unchanged,
+	// and each -data spec names the dataset's key prefix inside the tier.
+	// Peers are dialled at nsdf-store's /internal/ leaf plane (local
+	// store only): replicating through a peer's router-backed public
+	// plane would route the write again.
+	var shardStore storage.Store
+	if *peers != "" {
+		nodes, err := shard.ParsePeers(*peers, func(target string) storage.Store {
+			return storage.NewClient(target+"/internal", *peerToken)
+		})
+		if err != nil {
+			return err
+		}
+		router, err := shard.NewRouter(nodes, shard.Options{Replicas: *replicaCount, HedgeAfter: *hedgeAfter})
+		if err != nil {
+			return err
+		}
+		router.Instrument(reg)
+		shardStore = storage.NewInstrumented(router, reg, "shard")
+		logger.Info("sharded block tier enabled",
+			slog.Int("nodes", router.Ring().Len()),
+			slog.Int("replicas", router.Replicas()),
+			slog.Duration("hedge_after", *hedgeAfter))
+	}
 	registered := 0
 	for _, spec := range data {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
 			return fmt.Errorf("bad -data %q (want name=path)", spec)
 		}
-		be, err := idx.NewDirBackend(path)
-		if err != nil {
-			return err
+		var be idx.Backend
+		if shardStore != nil {
+			be = storage.NewIDXBackend(shardStore, path)
+		} else {
+			dirBE, err := idx.NewDirBackend(path)
+			if err != nil {
+				return err
+			}
+			be = dirBE
 		}
 		ds, err := idx.Open(ctx, be)
 		if err != nil {

@@ -10,9 +10,21 @@
 // paths down), and -pprof-addr serves the Go profiler on a separate
 // listener.
 //
+// With -peers the process joins a sharded, replicated tier: block keys
+// place onto a consistent-hash ring spanning this node and its peers,
+// writes replicate -replicas ways, and reads fail over (and, with
+// -hedge-after, hedge) across replicas. Peer names are the ring
+// identity and must be consistent fleet-wide. Peer traffic flows over
+// the /internal/ plane (this node's local store, bypassing the
+// router), which every nsdf-store mounts; -peers URLs are plain base
+// URLs — the /internal suffix is appended automatically.
+//
 // Usage:
 //
 //	nsdf-store -addr :9000 -root ./objects -token secret
+//	nsdf-store -addr :9001 -root ./objects-a -node-name a \
+//	    -peers b=http://host2:9001,c=http://host3:9001 \
+//	    -replicas 2 -hedge-after 30ms
 package main
 
 import (
@@ -24,6 +36,7 @@ import (
 	"time"
 
 	"nsdfgo/internal/cache"
+	"nsdfgo/internal/shard"
 	"nsdfgo/internal/storage"
 	"nsdfgo/internal/telemetry"
 	"nsdfgo/internal/telemetry/trace"
@@ -36,10 +49,22 @@ func main() {
 	}
 }
 
+// internalPlane is the path prefix of the leaf object plane every
+// nsdf-store mounts: the same REST layout as the public plane but
+// backed by the local store alone, bypassing the router. Peer routers
+// (other nsdf-store nodes, nsdf-dashboard) replicate to it; routing
+// peer traffic through a peer's own router would forward it again,
+// and two replicas forwarding to each other never terminate.
+const internalPlane = "/internal"
+
 func run() error {
 	addr := flag.String("addr", ":9000", "listen address")
 	root := flag.String("root", "./objects", "object storage directory")
 	token := flag.String("token", "", "bearer token; empty serves a public store")
+	peers := flag.String("peers", "", "comma-separated name=url peers forming a sharded tier with this node (empty disables sharding)")
+	nodeName := flag.String("node-name", "self", "this node's fleet-wide ring name (with -peers; must be consistent across the fleet)")
+	replicaCount := flag.Int("replicas", 2, "replicas per block key across the sharded tier (with -peers)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "fire a hedged read at the next replica after this delay; pick a p99-ish value (0 disables hedging)")
 	cacheMB := flag.Int("cache-mb", 0, "in-memory object cache size in MiB (0 disables)")
 	cacheDir := flag.String("cache-dir", "", "directory for an on-disk cache tier below memory (empty disables; contents are wiped at startup)")
 	cacheDiskBytes := flag.Int64("cache-disk-bytes", 256<<20, "on-disk cache budget in bytes (with -cache-dir)")
@@ -63,11 +88,41 @@ func run() error {
 	reg := telemetry.NewRegistry()
 	telemetry.RegisterRuntimeMetrics(reg)
 	traces := trace.NewCollector(*traceBuffer)
+	// With -peers, this process becomes one node of a sharded tier: its
+	// FileStore joins a consistent-hash ring with the peer stores, and
+	// every request routes through shard.Router (replication, hedged
+	// reads, failover). The router implements storage.Store, so the
+	// cache and instrumentation layers below stack on it unchanged.
+	//
+	// Peers are dialled at their /internal/ leaf plane — the one backed
+	// by the remote node's local store alone. Routing a replica write to
+	// a peer's public (router-backed) plane would re-route it, and two
+	// replicas forwarding to each other never terminate.
+	var inner storage.Store = fileStore
+	if *peers != "" {
+		nodes, err := shard.ParsePeers(*peers, func(target string) storage.Store {
+			return storage.NewClient(target+internalPlane, *token)
+		})
+		if err != nil {
+			return err
+		}
+		nodes = append(nodes, shard.Node{Name: *nodeName, Store: fileStore})
+		router, err := shard.NewRouter(nodes, shard.Options{Replicas: *replicaCount, HedgeAfter: *hedgeAfter})
+		if err != nil {
+			return err
+		}
+		router.Instrument(reg)
+		inner = router
+		logger.Info("sharded tier enabled",
+			slog.String("node", *nodeName),
+			slog.Int("nodes", router.Ring().Len()),
+			slog.Int("replicas", router.Replicas()),
+			slog.Duration("hedge_after", *hedgeAfter))
+	}
 	// Layer the read-through cache (when enabled) under the
 	// instrumentation, so /metrics latency histograms reflect what clients
 	// actually experienced (hits included) while nsdf_cache_* series report
 	// the cache's own effectiveness.
-	var inner storage.Store = fileStore
 	if *cacheMB > 0 || *cacheDir != "" {
 		opts := cache.Options{MemBytes: int64(*cacheMB) << 20}
 		if *cacheDir != "" {
@@ -81,13 +136,23 @@ func run() error {
 		tiered.Instrument(reg, "store")
 		inner = storage.NewCached(inner, tiered)
 	}
-	store := storage.NewInstrumented(inner, reg, "file")
+	backendLabel := "file"
+	if *peers != "" {
+		backendLabel = "shard"
+	}
+	store := storage.NewInstrumented(inner, reg, backendLabel)
 
 	// Observability endpoints mount on the mux ahead of the object server
 	// so they stay reachable (and unauthenticated) even with -token set.
+	// The /internal/ plane serves this node's local store directly —
+	// never the router — so peer routers have a leaf to replicate to;
+	// it shares the public plane's bearer token.
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/debug/traces", traces.Handler())
+	mux.Handle(internalPlane+"/",
+		http.StripPrefix(internalPlane,
+			telemetry.WithRequestTimeout(storage.NewServer(fileStore, *token), *requestTimeout)))
 	mux.Handle("/", telemetry.WithRequestTimeout(storage.NewServer(store, *token), *requestTimeout))
 
 	mode := "public"

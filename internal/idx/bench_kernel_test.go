@@ -283,6 +283,36 @@ func BenchmarkWriteGridKernel(b *testing.B) {
 	})
 }
 
+// runConcurrently starts n goroutines behind a barrier, runs fn(i) in
+// each, and returns the per-goroutine elapsed times.
+func runConcurrently(n int, fn func(i int)) []time.Duration {
+	elapsed := make([]time.Duration, n)
+	var start, wg sync.WaitGroup
+	start.Add(1)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			start.Wait()
+			t0 := time.Now()
+			fn(i)
+			elapsed[i] = time.Since(t0)
+		}(i)
+	}
+	start.Done()
+	wg.Wait()
+	return elapsed
+}
+
+// meanNsPerOp averages per-goroutine latency per operation.
+func meanNsPerOp(elapsed []time.Duration, opsEach int) float64 {
+	var total float64
+	for _, e := range elapsed {
+		total += float64(e.Nanoseconds()) / float64(opsEach)
+	}
+	return total / float64(len(elapsed))
+}
+
 // benchSample is one measured configuration in BENCH_readpath.json.
 type benchSample struct {
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -373,6 +403,103 @@ func TestBenchReadpathEmit(t *testing.T) {
 		},
 	)
 
+	// --- Concurrent mixed workload at GOMAXPROCS=4. The single-threaded
+	// comparisons above are contention-blind (ROADMAP calls this out), so
+	// this section measures the kernel path the way the dashboard runs
+	// it: 4 readers racing mixed-resolution ReadBoxes on a shared warm
+	// cache, then 3 readers racing a concurrent writer on a second
+	// field. The single-threaded numbers stay in the JSON alongside for
+	// trajectory. ---
+	prevProcs := runtime.GOMAXPROCS(4)
+	concMeta, err := NewMeta([]int{benchSide, benchSide},
+		[]Field{{Name: "v", Type: Float32, Codec: "raw"}, {Name: "w", Type: Float32, Codec: "raw"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	concDS, err := Create(context.Background(), NewMemBackend(), concMeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"v", "w"} {
+		if err := concDS.WriteGrid(context.Background(), field, 0, g); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := concDS.ReadFull(context.Background(), field, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	concDS.SetCache(cache.NewLRU(128 << 20))
+	if _, _, err := concDS.ReadFull(context.Background(), "v", 0); err != nil { // warm the cache
+		t.Fatal(err)
+	}
+	if _, _, err := concDS.ReadFull(context.Background(), "w", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	maxLevel := concDS.Meta.MaxLevel()
+	mixLevels := []int{maxLevel, maxLevel - 2, maxLevel - 4}
+	mixOpsEach := 3 * iters
+	mixElapsed := runConcurrently(4, func(int) {
+		for i := 0; i < mixOpsEach; i++ {
+			level := mixLevels[i%len(mixLevels)]
+			if _, _, err := concDS.ReadBox(context.Background(), "v", 0, concDS.FullBox(), level); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	mixReadNs := meanNsPerOp(mixElapsed, mixOpsEach)
+	var mixWall time.Duration
+	for _, e := range mixElapsed {
+		if e > mixWall {
+			mixWall = e
+		}
+	}
+
+	rwReadOps, rwWriteOps := 3*iters, iters
+	rwElapsed := runConcurrently(4, func(i int) {
+		if i == 3 { // one writer refreshes the second field
+			for j := 0; j < rwWriteOps; j++ {
+				if err := concDS.WriteGrid(context.Background(), "w", 0, g); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			return
+		}
+		for j := 0; j < rwReadOps; j++ {
+			if _, _, err := concDS.ReadBox(context.Background(), "v", 0, concDS.FullBox(), maxLevel); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	rwReadNs := meanNsPerOp(rwElapsed[:3], rwReadOps)
+	rwWriteNs := float64(rwElapsed[3].Nanoseconds()) / float64(rwWriteOps)
+	concProcs := runtime.GOMAXPROCS(0)
+	runtime.GOMAXPROCS(prevProcs)
+
+	type concMixed struct {
+		Readers         int     `json:"readers"`
+		OpsPerReader    int     `json:"ops_per_reader"`
+		Levels          string  `json:"levels"`
+		ReadNsPerOp     float64 `json:"read_ns_per_op"`
+		ReadMsPerOp     float64 `json:"read_ms_per_op"`
+		AggregateMBPerS float64 `json:"aggregate_mb_per_s"`
+	}
+	type concRW struct {
+		Readers      int     `json:"readers"`
+		Writers      int     `json:"writers"`
+		ReadNsPerOp  float64 `json:"read_ns_per_op"`
+		ReadMsPerOp  float64 `json:"read_ms_per_op"`
+		WriteNsPerOp float64 `json:"write_ns_per_op"`
+		WriteMsPerOp float64 `json:"write_ms_per_op"`
+	}
+	// Mixed levels read full grids at strides 1, 2, 4: bytes per round of
+	// 3 ops = full + 1/4 + 1/16 of the full-resolution payload.
+	mixBytesPerReader := float64(benchSide*benchSide*4) * (1 + 0.25 + 0.0625) * float64(iters)
+	mixAggMBPerS := 4 * mixBytesPerReader / (1 << 20) / mixWall.Seconds()
+
 	doc := struct {
 		Description string          `json:"description"`
 		Dataset     string          `json:"dataset"`
@@ -380,13 +507,35 @@ func TestBenchReadpathEmit(t *testing.T) {
 		GOMAXPROCS  int             `json:"gomaxprocs"`
 		ReadBox     benchComparison `json:"read_box"`
 		WriteGrid   benchComparison `json:"write_grid"`
+		Concurrent  struct {
+			GOMAXPROCS int       `json:"gomaxprocs"`
+			MixedRead  concMixed `json:"mixed_read"`
+			ReadWrite  concRW    `json:"read_write_mix"`
+		} `json:"concurrent"`
 	}{
-		Description: "Run-based HZ kernels vs the per-sample reference path; warm block cache, raw codec. Regenerate with `make bench-readpath`.",
+		Description: "Run-based HZ kernels vs the per-sample reference path (single-threaded, kept for trajectory), plus a concurrent mixed workload at GOMAXPROCS=4: 4 readers over mixed levels, and 3 readers racing 1 writer. Warm block cache, raw codec. Regenerate with `make bench-readpath`.",
 		Dataset:     fmt.Sprintf("%dx%d float32, 2^%d-sample blocks", benchSide, benchSide, ds.Meta.BitsPerBlock),
 		Iters:       iters,
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		ReadBox:     read,
 		WriteGrid:   write,
+	}
+	doc.Concurrent.GOMAXPROCS = concProcs
+	doc.Concurrent.MixedRead = concMixed{
+		Readers:         4,
+		OpsPerReader:    mixOpsEach,
+		Levels:          fmt.Sprintf("%d,%d,%d", mixLevels[0], mixLevels[1], mixLevels[2]),
+		ReadNsPerOp:     mixReadNs,
+		ReadMsPerOp:     mixReadNs / 1e6,
+		AggregateMBPerS: mixAggMBPerS,
+	}
+	doc.Concurrent.ReadWrite = concRW{
+		Readers:      3,
+		Writers:      1,
+		ReadNsPerOp:  rwReadNs,
+		ReadMsPerOp:  rwReadNs / 1e6,
+		WriteNsPerOp: rwWriteNs,
+		WriteMsPerOp: rwWriteNs / 1e6,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

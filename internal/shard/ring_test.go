@@ -1,0 +1,157 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringKeys synthesises n block-shaped keys.
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("datasets/tennessee/blocks/v/0/%06d", i)
+	}
+	return keys
+}
+
+func ringOf(nodes ...string) *Ring {
+	r := NewRing(0)
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	return r
+}
+
+// TestRingPlacementDeterministic: placement is a pure function of the
+// membership set — insertion order must not matter, and rebuilding the
+// ring must reproduce it. Independent routers rely on this to agree
+// without coordination.
+func TestRingPlacementDeterministic(t *testing.T) {
+	a := ringOf("n0", "n1", "n2", "n3")
+	b := ringOf("n3", "n1", "n0", "n2")
+	for _, key := range ringKeys(2000) {
+		ra, rb := a.Replicas(key, 2), b.Replicas(key, 2)
+		if len(ra) != 2 || len(rb) != 2 || ra[0] != rb[0] || ra[1] != rb[1] {
+			t.Fatalf("placement differs for %q: %v vs %v", key, ra, rb)
+		}
+	}
+}
+
+// TestRingReplicasDistinct: the replica set never repeats a node and
+// clamps to the membership size.
+func TestRingReplicasDistinct(t *testing.T) {
+	r := ringOf("n0", "n1", "n2")
+	for _, key := range ringKeys(500) {
+		reps := r.Replicas(key, 5)
+		if len(reps) != 3 {
+			t.Fatalf("Replicas(%q, 5) on a 3-node ring returned %v", key, reps)
+		}
+		seen := map[string]bool{}
+		for _, n := range reps {
+			if seen[n] {
+				t.Fatalf("duplicate node in replica set %v for %q", reps, key)
+			}
+			seen[n] = true
+		}
+	}
+	if got := ringOf().Replicas("k", 2); got != nil {
+		t.Fatalf("empty ring returned replicas %v", got)
+	}
+}
+
+// TestRingDistributionBalance: with DefaultVirtualNodes, primary load
+// per node stays within a reasonable factor of uniform.
+func TestRingDistributionBalance(t *testing.T) {
+	r := ringOf("n0", "n1", "n2", "n3")
+	spread := r.Spread(ringKeys(20000))
+	want := 20000 / 4
+	for node, got := range spread {
+		if got < want/2 || got > want*2 {
+			t.Errorf("node %s owns %d of 20000 keys; want within [%d, %d] of uniform %d",
+				node, got, want/2, want*2, want)
+		}
+	}
+}
+
+// TestRingRebalanceAddMovesOnlyFraction is the membership-change pin:
+// growing N=4 to N=5 must move only ~K/5 primaries, and every moved key
+// must land on the new node — existing nodes never trade keys among
+// themselves (the consistent-hashing stability guarantee).
+func TestRingRebalanceAddMovesOnlyFraction(t *testing.T) {
+	const K = 10000
+	keys := ringKeys(K)
+	r := ringOf("n0", "n1", "n2", "n3")
+	before := make(map[string]string, K)
+	for _, k := range keys {
+		before[k] = r.Primary(k)
+	}
+
+	r.Add("n4")
+	moved := 0
+	for _, k := range keys {
+		now := r.Primary(k)
+		if now == before[k] {
+			continue
+		}
+		moved++
+		if now != "n4" {
+			t.Fatalf("key %q moved %s -> %s, but only the new node n4 may gain keys", k, before[k], now)
+		}
+	}
+	ideal := K / 5
+	if moved < ideal/2 || moved > ideal*2 {
+		t.Fatalf("adding 1 node to 4 moved %d of %d keys; want ~K/N = %d (accepting [%d, %d])",
+			moved, K, ideal, ideal/2, ideal*2)
+	}
+	t.Logf("add n4: moved %d/%d primaries (ideal %d)", moved, K, ideal)
+}
+
+// TestRingRebalanceRemoveMovesOnlyVictimKeys: removing a node reassigns
+// exactly that node's keys; everyone else's placement is untouched.
+func TestRingRebalanceRemoveMovesOnlyVictimKeys(t *testing.T) {
+	const K = 10000
+	keys := ringKeys(K)
+	r := ringOf("n0", "n1", "n2", "n3")
+	before := make(map[string]string, K)
+	for _, k := range keys {
+		before[k] = r.Primary(k)
+	}
+
+	r.Remove("n2")
+	moved := 0
+	for _, k := range keys {
+		now := r.Primary(k)
+		if before[k] == "n2" {
+			moved++
+			if now == "n2" {
+				t.Fatalf("key %q still maps to removed node n2", k)
+			}
+			continue
+		}
+		if now != before[k] {
+			t.Fatalf("key %q moved %s -> %s though its owner survived", k, before[k], now)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removing a node moved no keys; distribution test should have caught an empty node")
+	}
+	t.Logf("remove n2: reassigned %d/%d primaries", moved, K)
+}
+
+// TestRingAddRemoveIdempotent: double add/remove are no-ops.
+func TestRingAddRemoveIdempotent(t *testing.T) {
+	r := ringOf("n0", "n1")
+	r.Add("n0")
+	if r.Len() != 2 || len(r.vnodes) != 2*r.VirtualNodes() {
+		t.Fatalf("double Add changed the ring: %s", r)
+	}
+	r.Remove("missing")
+	if r.Len() != 2 {
+		t.Fatalf("removing an absent node changed the ring: %s", r)
+	}
+	r.Remove("n0")
+	r.Remove("n0")
+	if r.Len() != 1 || len(r.vnodes) != r.VirtualNodes() {
+		t.Fatalf("double Remove corrupted the ring: %s", r)
+	}
+}

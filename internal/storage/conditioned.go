@@ -19,6 +19,15 @@ type NetworkProfile struct {
 	BandwidthBps int64
 	// Jitter is the maximum extra random delay added per operation.
 	Jitter time.Duration
+	// TailProb is the per-operation probability (0..1) of a heavy-tail
+	// latency spike — the p99-and-beyond stragglers real object stores
+	// exhibit (GC pauses, slow disks, congested links). 0 disables the
+	// tail.
+	TailProb float64
+	// TailSpike is the extra delay added when a spike fires. The spike is
+	// added on top of RTT, jitter, and transfer time, so the tail stays
+	// heavy regardless of payload size.
+	TailSpike time.Duration
 }
 
 // Common profiles for experiments. Values are scaled down ~10x from
@@ -31,6 +40,12 @@ var (
 	ProfileRegional = NetworkProfile{RTT: 2 * time.Millisecond, BandwidthBps: 1 << 28, Jitter: 500 * time.Microsecond}
 	// ProfileCrossCountry approximates a coast-to-coast object store.
 	ProfileCrossCountry = NetworkProfile{RTT: 7 * time.Millisecond, BandwidthBps: 1 << 26, Jitter: 2 * time.Millisecond}
+	// ProfileHeavyTail is ProfileRegional with a 2% chance of a 20x
+	// latency spike per operation: the profile hedged reads are designed
+	// to defeat. The 40ms spike dominates every other delay term, so p99
+	// sits an order of magnitude above p50 — the shape (if not the scale)
+	// of real wide-area tail latency.
+	ProfileHeavyTail = NetworkProfile{RTT: 2 * time.Millisecond, BandwidthBps: 1 << 28, Jitter: 500 * time.Microsecond, TailProb: 0.02, TailSpike: 40 * time.Millisecond}
 )
 
 // Conditioned wraps a Store, delaying every operation according to a
@@ -55,17 +70,30 @@ func NewConditioned(inner Store, profile NetworkProfile, seed int64) *Conditione
 	return &Conditioned{inner: inner, profile: profile, rng: rand.New(rand.NewSource(seed))}
 }
 
-// delay sleeps for the operation's simulated network time, honouring ctx.
-func (c *Conditioned) delay(ctx context.Context, payloadBytes int) error {
+// sampleDelay draws one operation's simulated network time from the
+// profile: RTT, plus uniform jitter, plus (with probability TailProb) a
+// heavy-tail spike, plus bandwidth-proportional transfer time.
+func (c *Conditioned) sampleDelay(payloadBytes int) time.Duration {
 	d := c.profile.RTT
-	if c.profile.Jitter > 0 {
+	if c.profile.Jitter > 0 || (c.profile.TailProb > 0 && c.profile.TailSpike > 0) {
 		c.mu.Lock()
-		d += time.Duration(c.rng.Int63n(int64(c.profile.Jitter) + 1))
+		if c.profile.Jitter > 0 {
+			d += time.Duration(c.rng.Int63n(int64(c.profile.Jitter) + 1))
+		}
+		if c.profile.TailProb > 0 && c.profile.TailSpike > 0 && c.rng.Float64() < c.profile.TailProb {
+			d += c.profile.TailSpike
+		}
 		c.mu.Unlock()
 	}
 	if c.profile.BandwidthBps > 0 && payloadBytes > 0 {
 		d += time.Duration(float64(payloadBytes) / float64(c.profile.BandwidthBps) * float64(time.Second))
 	}
+	return d
+}
+
+// delay sleeps for the operation's simulated network time, honouring ctx.
+func (c *Conditioned) delay(ctx context.Context, payloadBytes int) error {
+	d := c.sampleDelay(payloadBytes)
 	c.statsMu.Lock()
 	c.ops++
 	c.statsMu.Unlock()

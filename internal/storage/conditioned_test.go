@@ -1,0 +1,97 @@
+package storage
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestConditionedTailDistribution pins the heavy-tail latency model:
+// spikes fire at roughly TailProb, spiked draws carry the full TailSpike
+// on top of the base delay, and non-spiked draws stay inside
+// [RTT, RTT+Jitter]. The rng is seeded, so the assertions are tight
+// ranges rather than exact counts to stay robust across rand versions.
+func TestConditionedTailDistribution(t *testing.T) {
+	profile := NetworkProfile{
+		RTT:       1 * time.Millisecond,
+		Jitter:    200 * time.Microsecond,
+		TailProb:  0.02,
+		TailSpike: 20 * time.Millisecond,
+	}
+	c := NewConditioned(NewMemStore(), profile, 42)
+
+	const n = 100000
+	spikeFloor := profile.RTT + profile.TailSpike
+	baseCeil := profile.RTT + profile.Jitter
+	spikes := 0
+	for i := 0; i < n; i++ {
+		d := c.sampleDelay(0)
+		switch {
+		case d >= spikeFloor:
+			spikes++
+			if d > spikeFloor+profile.Jitter {
+				t.Fatalf("spiked delay %v above RTT+Jitter+TailSpike %v", d, spikeFloor+profile.Jitter)
+			}
+		case d >= profile.RTT && d <= baseCeil:
+			// normal draw
+		default:
+			t.Fatalf("delay %v outside both the base band [%v,%v] and the spike band [%v,...]",
+				d, profile.RTT, baseCeil, spikeFloor)
+		}
+	}
+	got := float64(spikes) / n
+	if got < 0.015 || got > 0.025 {
+		t.Fatalf("spike frequency %.4f, want within [0.015, 0.025] of TailProb %.3f", got, profile.TailProb)
+	}
+}
+
+// TestConditionedTailDisabled verifies a zero TailProb (every pre-existing
+// profile) never spikes: the delay stays within the jitter band.
+func TestConditionedTailDisabled(t *testing.T) {
+	profile := NetworkProfile{RTT: time.Millisecond, Jitter: 100 * time.Microsecond}
+	c := NewConditioned(NewMemStore(), profile, 7)
+	for i := 0; i < 10000; i++ {
+		if d := c.sampleDelay(0); d < profile.RTT || d > profile.RTT+profile.Jitter {
+			t.Fatalf("delay %v escaped [RTT, RTT+Jitter] with no tail configured", d)
+		}
+	}
+}
+
+// TestConditionedTailAddsToTransfer checks the spike rides on top of the
+// bandwidth term rather than replacing it, so large payloads keep their
+// transfer cost even on spiked operations.
+func TestConditionedTailAddsToTransfer(t *testing.T) {
+	profile := NetworkProfile{
+		RTT:          time.Millisecond,
+		BandwidthBps: 1 << 20, // 1 MiB/s: 64KiB costs 62.5ms
+		TailProb:     1,       // every draw spikes
+		TailSpike:    20 * time.Millisecond,
+	}
+	c := NewConditioned(NewMemStore(), profile, 1)
+	payload := 64 << 10
+	transfer := time.Duration(float64(payload) / float64(profile.BandwidthBps) * float64(time.Second))
+	want := profile.RTT + profile.TailSpike + transfer
+	if d := c.sampleDelay(payload); d != want {
+		t.Fatalf("spiked delay with payload = %v, want RTT+TailSpike+transfer = %v", d, want)
+	}
+}
+
+// TestConditionedTailOps exercises the full op path under a scaled-down
+// tail profile so the spike branch runs inside delay(), not just in
+// sampleDelay.
+func TestConditionedTailOps(t *testing.T) {
+	profile := NetworkProfile{RTT: 10 * time.Microsecond, TailProb: 0.5, TailSpike: 50 * time.Microsecond}
+	c := NewConditioned(NewMemStore(), profile, 3)
+	ctx := context.Background()
+	if err := c.Put(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := c.Get(ctx, "k"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := c.Stats(); s.TotalWait < 20*profile.RTT {
+		t.Fatalf("TotalWait %v implausibly small for 21 conditioned ops", s.TotalWait)
+	}
+}
