@@ -2,11 +2,11 @@
 # (build + test, matching ROADMAP.md) plus vet, the race detector, the
 # nsdf-lint analyzer suite, a 5-second smoke of each fuzz target, and a
 # reduced-size smoke of every benchmark harness (read path, trace
-# overhead, block cache, sharded tier, compression).
+# overhead, block cache, sharded tier, compression, lint).
 
 GO ?= go
 
-.PHONY: build test vet race lint fuzz-smoke check bench-readpath bench-readpath-smoke bench-trace bench-trace-smoke bench-cache bench-cache-smoke bench-shard bench-shard-smoke bench-compression bench-compression-smoke
+.PHONY: build test vet race lint fuzz-smoke check bench-readpath bench-readpath-smoke bench-trace bench-trace-smoke bench-cache bench-cache-smoke bench-shard bench-shard-smoke bench-compression bench-compression-smoke bench-lint bench-lint-smoke
 
 build:
 	$(GO) build ./...
@@ -98,5 +98,17 @@ bench-compression:
 bench-compression-smoke:
 	NSDF_BENCH_COMPRESSION_ITERS=1 $(GO) test ./internal/compress -run '^TestBenchCompressionEmit$$' -count=1
 
-check: build test vet race lint fuzz-smoke bench-readpath-smoke bench-trace-smoke bench-cache-smoke bench-shard-smoke bench-compression-smoke
+# Measure the analyzer suite itself — module load/type-check cost and
+# per-analyzer wall time over every package, with the CFG-based
+# flow-sensitive analyzers broken out — and refresh BENCH_lint.json.
+bench-lint:
+	NSDF_BENCH_LINT_ITERS=5 NSDF_BENCH_LINT_OUT=$(CURDIR)/BENCH_lint.json \
+		$(GO) test ./internal/lint -run '^TestBenchLintEmit$$' -count=1 -v
+
+# One-iteration smoke of the lint harness (temp output): keeps it
+# compiling and running under `make check`.
+bench-lint-smoke:
+	NSDF_BENCH_LINT_ITERS=1 $(GO) test ./internal/lint -run '^TestBenchLintEmit$$' -count=1
+
+check: build test vet race lint fuzz-smoke bench-readpath-smoke bench-trace-smoke bench-cache-smoke bench-shard-smoke bench-compression-smoke bench-lint-smoke
 	@echo "check: all gates passed"

@@ -8,7 +8,10 @@
 //
 // Patterns default to ./... and follow the go tool's shape: ./dir,
 // ./dir/..., or ./... for the whole module. Exit status is 0 when
-// clean, 1 when any finding is reported, 2 on usage or load errors.
+// clean, 1 when any finding is reported, 2 on usage or load errors and
+// on analyzer internal errors (a panic, a CFG that failed to build, a
+// dataflow fixpoint that did not converge) — a malfunctioning analyzer
+// must never let CI pass by reporting nothing.
 package main
 
 import (
@@ -60,7 +63,7 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "nsdf-lint:", err)
 		return 2
 	}
-	findings := lint.Run(pkgs, lint.Analyzers(), lint.DefaultConfig())
+	findings, internalErrs := lint.RunAll(pkgs, lint.Analyzers(), lint.DefaultConfig())
 
 	cwd, _ := os.Getwd()
 	if *jsonOut {
@@ -91,6 +94,15 @@ func run() int {
 		for _, f := range findings {
 			fmt.Printf("%s:%d:%d: %s: %s\n", relPath(cwd, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 		}
+	}
+	// Internal errors outrank findings: each already names the analyzer
+	// and the package it was visiting.
+	if len(internalErrs) > 0 {
+		for _, e := range internalErrs {
+			fmt.Fprintln(os.Stderr, "nsdf-lint: internal error:", e)
+		}
+		fmt.Fprintf(os.Stderr, "nsdf-lint: %d internal analyzer error(s)\n", len(internalErrs))
+		return 2
 	}
 	if len(findings) > 0 {
 		if !*jsonOut {

@@ -1,9 +1,14 @@
-// Package lint is the repo's own static-analysis suite: seven analyzers
+// Package lint is the repo's own static-analysis suite: ten analyzers
 // that machine-check the conventions the serving stack depends on —
 // nsdf_-prefixed constant metric names, no silently dropped storage/IDX
 // errors, an allocation-free hot path, sound mutex usage, abortable
 // worker goroutines, caller-threaded contexts (no context.Background()
 // in library code), and spans that are always ended (spanend).
+// Three of them are flow-sensitive, built on the control-flow-graph and
+// dataflow framework in internal/lint/cfg: refcount (cache.Block
+// references released exactly once on every path), lockorder (no
+// lock-order cycles across the repo, no path that exits holding a
+// mutex), and ctxleak (derived contexts cancelled on every path).
 // It is built only on go/ast, go/parser, go/types,
 // and go/importer, so `make lint` needs nothing beyond the Go toolchain.
 //
@@ -55,6 +60,11 @@ type Config struct {
 	// TracePackage is the import path of the span tracer whose Start*
 	// results spanend requires to be ended.
 	TracePackage string
+	// CachePackage is the import path of the block cache whose
+	// ref-counted Block type refcount tracks: any call with a *Block
+	// result is an acquisition whose reference must be released,
+	// deferred, or transferred on every path.
+	CachePackage string
 }
 
 // DefaultConfig returns the configuration for this repository.
@@ -78,6 +88,7 @@ func DefaultConfig() *Config {
 			"nsdfgo/internal/lint/testdata/src/hotalloc",
 		},
 		TracePackage: "nsdfgo/internal/telemetry/trace",
+		CachePackage: "nsdfgo/internal/cache",
 	}
 }
 
@@ -90,10 +101,12 @@ type Pass struct {
 	// Config is the shared project configuration.
 	Config *Config
 	// State persists across the packages of one Run for this analyzer,
-	// so cross-package rules (metric kind conflicts) can accumulate.
+	// so cross-package rules (metric kind conflicts, the whole-repo lock
+	// graph) can accumulate.
 	State map[string]any
 
 	findings *[]Finding
+	errs     *[]error
 }
 
 // Reportf records a finding at pos.
@@ -105,6 +118,29 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportAt records a finding at an already-resolved position. Finish
+// hooks use it: they run after the per-package passes, so positions must
+// have been resolved while the owning package was in hand.
+func (p *Pass) ReportAt(pos token.Position, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InternalErrorf records an analyzer malfunction (not a finding): a CFG
+// that failed to build, a dataflow fixpoint that did not converge. The
+// driver treats any internal error as a failed run (exit 2), so a
+// broken analyzer can never make CI pass by producing zero findings.
+func (p *Pass) InternalErrorf(format string, args ...any) {
+	pkg := "(finish)"
+	if p.Pkg != nil {
+		pkg = p.Pkg.Path
+	}
+	*p.errs = append(*p.errs, fmt.Errorf("analyzer %s: package %s: %s", p.Analyzer.Name, pkg, fmt.Sprintf(format, args...)))
+}
+
 // Analyzer is one lint rule.
 type Analyzer struct {
 	// Name is the rule identifier used in output and allow comments.
@@ -113,6 +149,11 @@ type Analyzer struct {
 	Doc string
 	// Run analyzes one package.
 	Run func(*Pass)
+	// Finish, when non-nil, runs once after every package has been
+	// analyzed, with a Pass whose Pkg is nil. Whole-program rules (the
+	// lockorder cycle check) accumulate in State during Run and report
+	// here via ReportAt.
+	Finish func(*Pass)
 }
 
 // Analyzers returns the full suite in a stable order.
@@ -125,17 +166,47 @@ func Analyzers() []*Analyzer {
 		GoLeakAnalyzer,
 		CtxBackgroundAnalyzer,
 		SpanEndAnalyzer,
+		RefCountAnalyzer,
+		LockOrderAnalyzer,
+		CtxLeakAnalyzer,
 	}
 }
 
 // Run executes the analyzers over the packages and returns the findings
-// that survive allow-comment suppression, sorted by position.
+// that survive allow-comment suppression, sorted by position. An
+// analyzer internal error (see RunAll) panics: tests and callers that
+// use Run treat a malfunctioning analyzer as a hard failure, never as a
+// clean result.
 func Run(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Finding {
+	findings, errs := RunAll(pkgs, analyzers, cfg)
+	if len(errs) > 0 {
+		panic(fmt.Sprintf("lint: %d internal analyzer error(s), first: %v", len(errs), errs[0]))
+	}
+	return findings
+}
+
+// RunAll executes the analyzers over the packages and returns the
+// findings that survive allow-comment suppression, sorted by position,
+// along with any internal analyzer errors. A panicking analyzer is
+// recovered into an error naming the analyzer and the package it was
+// visiting, so the driver can exit non-zero with a useful message
+// instead of crashing or — worse — silently reporting a clean run.
+func RunAll(pkgs []*Package, analyzers []*Analyzer, cfg *Config) ([]Finding, []error) {
 	var findings []Finding
+	var errs []error
 	for _, a := range analyzers {
 		state := make(map[string]any)
 		for _, pkg := range pkgs {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, Config: cfg, State: state, findings: &findings})
+			pass := &Pass{Analyzer: a, Pkg: pkg, Config: cfg, State: state, findings: &findings, errs: &errs}
+			if err := runRecovering(a.Run, pass); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		if a.Finish != nil {
+			pass := &Pass{Analyzer: a, Config: cfg, State: state, findings: &findings, errs: &errs}
+			if err := runRecovering(a.Finish, pass); err != nil {
+				errs = append(errs, err)
+			}
 		}
 	}
 	allow := buildAllowIndex(pkgs)
@@ -158,7 +229,23 @@ func Run(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Finding {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return kept
+	return kept, errs
+}
+
+// runRecovering invokes fn(pass), converting a panic into an internal
+// error naming the analyzer and package.
+func runRecovering(fn func(*Pass), pass *Pass) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pkg := "(finish)"
+			if pass.Pkg != nil {
+				pkg = pass.Pkg.Path
+			}
+			err = fmt.Errorf("analyzer %s: package %s: panic: %v", pass.Analyzer.Name, pkg, r)
+		}
+	}()
+	fn(pass)
+	return nil
 }
 
 // allowIndex records, per file and line, which analyzers an

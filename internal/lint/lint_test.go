@@ -83,7 +83,7 @@ func renderFindings(pkg *Package, findings []Finding) string {
 // cases, so a matching golden proves the analyzer fires where it must
 // and stays quiet where the escape hatch is used.
 func TestAnalyzerGoldens(t *testing.T) {
-	for _, name := range []string{"metricname", "droppederr", "hotalloc", "lockcopy", "goleak", "ctxbackground", "spanend"} {
+	for _, name := range []string{"metricname", "droppederr", "hotalloc", "lockcopy", "goleak", "ctxbackground", "spanend", "refcount", "lockorder", "ctxleak"} {
 		t.Run(name, func(t *testing.T) {
 			pkg := loadFixture(t, name)
 			a := analyzerByName(t, name)
@@ -114,7 +114,7 @@ func TestAnalyzerGoldens(t *testing.T) {
 // that no finding lands on a line covered by a //lint:allow comment
 // (same line or the line below it) in any fixture.
 func TestAllowCommentSuppresses(t *testing.T) {
-	for _, name := range []string{"metricname", "droppederr", "hotalloc", "lockcopy", "goleak", "ctxbackground", "spanend"} {
+	for _, name := range []string{"metricname", "droppederr", "hotalloc", "lockcopy", "goleak", "ctxbackground", "spanend", "refcount", "lockorder", "ctxleak"} {
 		pkg := loadFixture(t, name)
 		a := analyzerByName(t, name)
 		findings := Run([]*Package{pkg}, []*Analyzer{a}, fixtureConfig(pkg))
@@ -165,6 +165,80 @@ func TestMetricNameKindConflictAcrossPackages(t *testing.T) {
 	if !strings.Contains(findings[0].Message, "registered as gauge here but as counter") {
 		t.Errorf("unexpected conflict message: %s", findings[0].Message)
 	}
+}
+
+// TestRepoIsFlowLintClean runs just the three flow-sensitive analyzers
+// over the real module, separately from the full-suite gate, so a CFG
+// or dataflow regression is attributed to this layer directly. Internal
+// analyzer errors (a CFG that failed to build, a fixpoint that did not
+// converge) fail the test too, via RunAll.
+func TestRepoIsFlowLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type check is not short")
+	}
+	root := moduleRoot(t)
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow := []*Analyzer{
+		analyzerByName(t, "refcount"),
+		analyzerByName(t, "lockorder"),
+		analyzerByName(t, "ctxleak"),
+	}
+	findings, errs := RunAll(pkgs, flow, DefaultConfig())
+	for _, e := range errs {
+		t.Errorf("internal error: %v", e)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestRunAllReportsInternalErrors proves a malfunctioning analyzer can
+// never pass as a clean run: both a panic and an InternalErrorf call
+// surface as errors naming the analyzer and the package.
+func TestRunAllReportsInternalErrors(t *testing.T) {
+	pkg := loadFixture(t, "refcount")
+	panicky := &Analyzer{
+		Name: "panicky",
+		Doc:  "test analyzer that always panics",
+		Run:  func(p *Pass) { panic("kaboom") },
+	}
+	erroring := &Analyzer{
+		Name: "erroring",
+		Doc:  "test analyzer that records an internal error",
+		Run:  func(p *Pass) { p.InternalErrorf("cfg exploded") },
+	}
+	findings, errs := RunAll([]*Package{pkg}, []*Analyzer{panicky, erroring}, DefaultConfig())
+	if len(findings) != 0 {
+		t.Errorf("unexpected findings: %v", findings)
+	}
+	if len(errs) != 2 {
+		t.Fatalf("want 2 internal errors, got %d: %v", len(errs), errs)
+	}
+	for _, e := range errs {
+		if !strings.Contains(e.Error(), pkg.Path) {
+			t.Errorf("error does not name the failing package %q: %v", pkg.Path, e)
+		}
+	}
+	if !strings.Contains(errs[0].Error(), "panicky") || !strings.Contains(errs[0].Error(), "kaboom") {
+		t.Errorf("panic not attributed: %v", errs[0])
+	}
+	if !strings.Contains(errs[1].Error(), "erroring") || !strings.Contains(errs[1].Error(), "cfg exploded") {
+		t.Errorf("InternalErrorf not attributed: %v", errs[1])
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("Run did not panic on internal errors")
+		}
+	}()
+	Run([]*Package{pkg}, []*Analyzer{panicky}, DefaultConfig())
 }
 
 // TestRepoIsLintClean runs the full suite over the real module — the

@@ -1,0 +1,112 @@
+// Package ctxleak is a lint fixture: every violation below is asserted
+// by internal/lint's golden-file tests. It exercises the flow-sensitive
+// derived-context analyzer: cancel skipped on a branch, discarded
+// cancel funcs, and the defer/transfer shapes that must stay quiet.
+package ctxleak
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// leakOnErrReturn derives a context but returns on the error branch
+// before the cancel is deferred — must fire.
+func leakOnErrReturn(ctx context.Context, check func() error) error {
+	cctx, cancel := context.WithCancel(ctx) // want: cancel not called on every path
+	if err := check(); err != nil {
+		return err // cancel never runs here: the child goroutine leaks
+	}
+	defer cancel()
+	return work(cctx)
+}
+
+// timeoutLeak arms a timer and abandons the cancel entirely — must
+// fire.
+func timeoutLeak(ctx context.Context) error {
+	tctx, cancel := context.WithTimeout(ctx, time.Second) // want: cancel never called
+	if err := work(tctx); err != nil {
+		return err
+	}
+	_ = cancel
+	return nil
+}
+
+// discardedCancel throws the cancel away at the call site — must fire.
+func discardedCancel(ctx context.Context) context.Context {
+	cctx, _ := context.WithCancel(ctx) // want: cancel discarded
+	return cctx
+}
+
+// deferClean is the canonical correct shape: nothing to report.
+func deferClean(ctx context.Context) error {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return work(cctx)
+}
+
+// branchClean calls cancel explicitly on every path: nothing to report.
+func branchClean(ctx context.Context, fail bool) error {
+	cctx, cancel := context.WithTimeout(ctx, time.Second)
+	if fail {
+		cancel()
+		return errors.New("boom")
+	}
+	err := work(cctx)
+	cancel()
+	return err
+}
+
+// deferClosureClean cancels inside a deferred closure: nothing to
+// report.
+func deferClosureClean(ctx context.Context) error {
+	cctx, cancel := context.WithCancel(ctx)
+	defer func() {
+		cancel()
+	}()
+	return work(cctx)
+}
+
+// transferClean hands the cancel to the caller, who owns it now:
+// nothing to report.
+func transferClean(ctx context.Context) (context.Context, context.CancelFunc) {
+	cctx, cancel := context.WithCancel(ctx)
+	return cctx, cancel
+}
+
+// registryClean stores the cancel for a shutdown sweep: ownership moves
+// into the slice, nothing to report.
+func registryClean(ctx context.Context, cancels []context.CancelFunc) ([]context.Context, []context.CancelFunc) {
+	cctx, cancel := context.WithCancel(ctx)
+	cancels = append(cancels, cancel)
+	return []context.Context{cctx}, cancels
+}
+
+// goroutineClean passes cancel into the goroutine that will call it:
+// the closure capture transfers ownership, nothing to report.
+func goroutineClean(ctx context.Context, done <-chan struct{}) context.Context {
+	cctx, cancel := context.WithCancel(ctx)
+	go func() {
+		<-done
+		cancel()
+	}()
+	return cctx
+}
+
+// escapeHatch shows the suppression path for a cancel intentionally
+// left to the process lifetime.
+func escapeHatch(ctx context.Context) context.Context {
+	//lint:allow ctxleak cancelled implicitly at process shutdown
+	cctx, cancel := context.WithCancel(ctx)
+	_ = cancel
+	return cctx
+}
+
+func work(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(time.Millisecond):
+		return nil
+	}
+}

@@ -12,11 +12,21 @@ import (
 	"time"
 )
 
+// newLenientRegistry returns a registry with strict naming off, so the
+// mechanics tests below can keep their compact metric names under any
+// build tag (-tags nsdfstrict flips the default to panic-on-bad-name).
+// Naming enforcement itself is covered in strict_test.go.
+func newLenientRegistry() *Registry {
+	r := NewRegistry()
+	r.SetStrict(false)
+	return r
+}
+
 // TestConcurrentCounters hammers one counter, one gauge, and one
 // histogram from many goroutines; run under -race this doubles as the
 // data-race check for the whole hot path.
 func TestConcurrentCounters(t *testing.T) {
-	reg := NewRegistry()
+	reg := newLenientRegistry()
 	const goroutines = 16
 	const perG = 2000
 
@@ -69,7 +79,7 @@ func TestCounterMonotonic(t *testing.T) {
 // TestSameSeriesSameInstance checks that registry lookups are idempotent
 // and that label order does not split a series.
 func TestSameSeriesSameInstance(t *testing.T) {
-	reg := NewRegistry()
+	reg := newLenientRegistry()
 	a := reg.Counter("x_total", "a", "1", "b", "2")
 	b := reg.Counter("x_total", "b", "2", "a", "1")
 	if a != b {
@@ -112,7 +122,7 @@ func TestHistogramPercentiles(t *testing.T) {
 // TestExpositionGolden locks the text format: family ordering, label
 // canonicalisation, cumulative buckets, sum/count, and quantile lines.
 func TestExpositionGolden(t *testing.T) {
-	reg := NewRegistry()
+	reg := newLenientRegistry()
 	reg.Counter("bb_ops_total", "op", "get").Add(7)
 	reg.Counter("bb_ops_total", "op", "put").Add(3)
 	reg.Gauge("aa_entries").Set(12.5)
@@ -191,7 +201,7 @@ dd_seconds_count 3
 
 // TestHandlerServesExposition exercises the /metrics handler end to end.
 func TestHandlerServesExposition(t *testing.T) {
-	reg := NewRegistry()
+	reg := newLenientRegistry()
 	reg.Counter("up_total").Inc()
 	srv := httptest.NewServer(reg.Handler())
 	defer srv.Close()
@@ -215,7 +225,7 @@ func TestHandlerServesExposition(t *testing.T) {
 // TestHTTPMetricsWrap checks the middleware counts status classes and
 // observes latency.
 func TestHTTPMetricsWrap(t *testing.T) {
-	reg := NewRegistry()
+	reg := newLenientRegistry()
 	m := NewHTTPMetrics(reg, "svc")
 	ok := m.Wrap("/ok", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("hi"))
@@ -246,7 +256,7 @@ func TestHTTPMetricsWrap(t *testing.T) {
 
 // TestSumFamilyAndQuantiles covers the cmd-level summary helpers.
 func TestSumFamilyAndQuantiles(t *testing.T) {
-	reg := NewRegistry()
+	reg := newLenientRegistry()
 	reg.Counter("t_total", "k", "a").Add(2)
 	reg.Counter("t_total", "k", "b").Add(5)
 	if got := reg.SumFamily("t_total"); got != 7 {
