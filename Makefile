@@ -2,11 +2,11 @@
 # (build + test, matching ROADMAP.md) plus vet, the race detector, the
 # nsdf-lint analyzer suite, a 5-second smoke of each fuzz target, and a
 # reduced-size smoke of every benchmark harness (read path, trace
-# overhead, block cache, sharded tier, compression, lint).
+# overhead, block cache, sharded tier, compression, lint, serving).
 
 GO ?= go
 
-.PHONY: build test vet race lint fuzz-smoke check bench-readpath bench-readpath-smoke bench-trace bench-trace-smoke bench-cache bench-cache-smoke bench-shard bench-shard-smoke bench-compression bench-compression-smoke bench-lint bench-lint-smoke
+.PHONY: build test vet race lint fuzz-smoke check bench-readpath bench-readpath-smoke bench-trace bench-trace-smoke bench-cache bench-cache-smoke bench-shard bench-shard-smoke bench-compression bench-compression-smoke bench-lint bench-lint-smoke bench-serving bench-serving-smoke
 
 build:
 	$(GO) build ./...
@@ -98,6 +98,21 @@ bench-compression:
 bench-compression-smoke:
 	NSDF_BENCH_COMPRESSION_ITERS=1 $(GO) test ./internal/compress -run '^TestBenchCompressionEmit$$' -count=1
 
+# Measure serving under load — uncontended vs sustainable vs 2x-overload
+# latency and goodput with and without admission control, plus loadgen
+# completion against a killed backend node — and refresh
+# BENCH_serving.json. Fails if admission stops holding admitted p99
+# within 2x uncontended p99 and goodput within 90% of sustainable at 2x
+# offered load, or if the load generator hangs against a dead backend.
+bench-serving:
+	NSDF_BENCH_SERVING_ITERS=4 NSDF_BENCH_SERVING_OUT=$(CURDIR)/BENCH_serving.json \
+		$(GO) test ./internal/loadgen -run '^TestBenchServingEmit$$' -count=1 -v -timeout 20m
+
+# Reduced-size smoke of the serving harness (temp output, no gating):
+# keeps it compiling and running under `make check`.
+bench-serving-smoke:
+	NSDF_BENCH_SERVING_ITERS=1 $(GO) test ./internal/loadgen -run '^TestBenchServingEmit$$' -count=1
+
 # Measure the analyzer suite itself — module load/type-check cost and
 # per-analyzer wall time over every package, with the CFG-based
 # flow-sensitive analyzers broken out — and refresh BENCH_lint.json.
@@ -110,5 +125,5 @@ bench-lint:
 bench-lint-smoke:
 	NSDF_BENCH_LINT_ITERS=1 $(GO) test ./internal/lint -run '^TestBenchLintEmit$$' -count=1
 
-check: build test vet race lint fuzz-smoke bench-readpath-smoke bench-trace-smoke bench-cache-smoke bench-shard-smoke bench-compression-smoke bench-lint-smoke
+check: build test vet race lint fuzz-smoke bench-readpath-smoke bench-trace-smoke bench-cache-smoke bench-shard-smoke bench-compression-smoke bench-lint-smoke bench-serving-smoke
 	@echo "check: all gates passed"

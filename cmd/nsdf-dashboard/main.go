@@ -26,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"nsdfgo/internal/admission"
 	"nsdfgo/internal/cache"
 	"nsdfgo/internal/dashboard"
 	"nsdfgo/internal/dem"
@@ -71,6 +72,12 @@ func run() error {
 	peerToken := flag.String("peer-token", "", "bearer token for the sharded tier's stores (with -peers)")
 	replicaCount := flag.Int("replicas", 2, "replicas per block key across the sharded tier (with -peers)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "fire a hedged block read at the next replica after this delay; pick a p99-ish value (0 disables hedging)")
+	maxInflight := flag.Int("max-inflight", 0, "admission control: max concurrently served requests (0 disables the concurrency limiter)")
+	maxQueue := flag.Int("max-queue", 64, "admission control: requests allowed to wait for a slot before shedding (with -max-inflight)")
+	queueTimeout := flag.Duration("queue-timeout", 2*time.Second, "admission control: longest a queued request waits for a slot before 429 (with -max-inflight; 0 waits for the request deadline)")
+	tenantRPS := flag.Float64("tenant-rps", 0, "admission control: per-tenant steady request rate in req/s, tenant from "+admission.TenantHeader+" or client address (0 disables rate limiting)")
+	tenantBurst := flag.Float64("tenant-burst", 0, "admission control: per-tenant token-bucket burst (defaults to -tenant-rps)")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint attached to shed (429) responses")
 	var data dataFlags
 	flag.Var(&data, "data", "dataset as name=path/to/idx/dir, or name=key/prefix with -peers (repeatable)")
 	flag.Parse()
@@ -88,6 +95,37 @@ func run() error {
 	server := dashboard.NewServer()
 	server.EnableTelemetry(reg)
 	server.EnableTracing(traces)
+	server.SetLogger(logger)
+	// Admission control fronts every data endpoint: per-tenant rate
+	// limiting plus a bounded-concurrency limiter whose overflow is shed
+	// as 429 + Retry-After. Its pressure feeds the idx fetch pools below
+	// so per-request block-fetch fan-out contracts under load.
+	var admit *admission.Controller
+	if *maxInflight > 0 || *tenantRPS > 0 {
+		admit = admission.NewController(admission.Options{
+			MaxConcurrent: *maxInflight,
+			MaxQueue:      *maxQueue,
+			QueueTimeout:  *queueTimeout,
+			TenantRate:    *tenantRPS,
+			TenantBurst:   *tenantBurst,
+			RetryAfter:    *retryAfter,
+		})
+		admit.Instrument(reg, "dashboard")
+		logger.Info("admission control enabled",
+			slog.Int("max_inflight", *maxInflight),
+			slog.Int("max_queue", *maxQueue),
+			slog.Duration("queue_timeout", *queueTimeout),
+			slog.Float64("tenant_rps", *tenantRPS))
+	}
+	// register hooks each engine's fetch pool to the admission limiter's
+	// pressure before exposing it: an engine serving admitted requests
+	// fans out fewer concurrent block fetches as the limiter fills.
+	register := func(name string, e *query.Engine) {
+		if admit != nil {
+			e.SetFetchPressure(admit.Pressure)
+		}
+		server.Register(name, e)
+	}
 	// newDatasetCache builds one tiered block cache per dataset. Each
 	// dataset gets its own subdirectory of -cache-dir because the disk
 	// tier wipes its directory at startup.
@@ -149,7 +187,7 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("cache for %s: %w", name, err)
 		}
-		server.Register(name, query.NewWithCache(ds, bc))
+		register(name, query.NewWithCache(ds, bc))
 		logger.Info("registered dataset",
 			slog.String("dataset", name),
 			slog.Int("width", ds.Meta.Dims[0]),
@@ -167,7 +205,7 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("cache for tennessee_demo: %w", err)
 		}
-		server.Register("tennessee_demo", query.NewWithCache(ds, bc))
+		register("tennessee_demo", query.NewWithCache(ds, bc))
 		logger.Info("registered dataset",
 			slog.String("dataset", "tennessee_demo"),
 			slog.Int("width", 512), slog.Int("height", 256),
@@ -189,11 +227,14 @@ func run() error {
 		slog.String("traces", "/debug/traces"))
 	// ReadHeaderTimeout/IdleTimeout keep slow or silent clients from
 	// holding connections open indefinitely; WithRequestTimeout bounds
-	// each request's block I/O when -request-timeout is set; WithTracing
-	// is outermost so the root span covers the whole request.
-	handler := telemetry.WithTracing(
-		telemetry.WithRequestTimeout(server, *requestTimeout),
-		traces,
+	// each request's block I/O when -request-timeout is set; the
+	// admission middleware sits just inside tracing so shed requests are
+	// traced (and counted by the HTTP metrics) but never reach the
+	// router, the caches, or the fetch pools; WithTracing is outermost so
+	// the root span covers the whole request.
+	var inner http.Handler = telemetry.WithRequestTimeout(server, *requestTimeout)
+	inner = admit.Middleware(inner)
+	handler := telemetry.WithTracing(inner, traces,
 		telemetry.TracingOptions{Service: "dashboard", SlowRequest: *slowRequest, Logger: logger})
 	srv := &http.Server{
 		Addr:              *addr,

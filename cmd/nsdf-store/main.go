@@ -35,6 +35,7 @@ import (
 	"os"
 	"time"
 
+	"nsdfgo/internal/admission"
 	"nsdfgo/internal/cache"
 	"nsdfgo/internal/shard"
 	"nsdfgo/internal/storage"
@@ -68,6 +69,12 @@ func run() error {
 	cacheMB := flag.Int("cache-mb", 0, "in-memory object cache size in MiB (0 disables)")
 	cacheDir := flag.String("cache-dir", "", "directory for an on-disk cache tier below memory (empty disables; contents are wiped at startup)")
 	cacheDiskBytes := flag.Int64("cache-disk-bytes", 256<<20, "on-disk cache budget in bytes (with -cache-dir)")
+	maxInflight := flag.Int("max-inflight", 0, "admission control: max concurrently served public-plane requests (0 disables the concurrency limiter)")
+	maxQueue := flag.Int("max-queue", 64, "admission control: requests allowed to wait for a slot before shedding (with -max-inflight)")
+	queueTimeout := flag.Duration("queue-timeout", 2*time.Second, "admission control: longest a queued request waits for a slot before 429 (with -max-inflight; 0 waits for the request deadline)")
+	tenantRPS := flag.Float64("tenant-rps", 0, "admission control: per-tenant steady request rate in req/s, tenant from "+admission.TenantHeader+" or client address (0 disables rate limiting)")
+	tenantBurst := flag.Float64("tenant-burst", 0, "admission control: per-tenant token-bucket burst (defaults to -tenant-rps)")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint attached to shed (429) responses")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline bounding store I/O (0 disables)")
 	slowRequest := flag.Duration("slow-request", time.Second, "log a structured span summary for requests at least this slow (0 disables)")
 	logFormat := flag.String("log-format", telemetry.LogFormatText, "log encoding: text or json")
@@ -155,6 +162,29 @@ func run() error {
 			telemetry.WithRequestTimeout(storage.NewServer(fileStore, *token), *requestTimeout)))
 	mux.Handle("/", telemetry.WithRequestTimeout(storage.NewServer(store, *token), *requestTimeout))
 
+	// Admission control gates the public object plane: per-tenant rate
+	// limiting plus a bounded-concurrency limiter shedding overflow as
+	// 429 + Retry-After. The /internal/ replication plane, /metrics and
+	// /debug/ stay exempt (middleware path exemptions), so peer
+	// replication and operator visibility survive saturation.
+	var admit *admission.Controller
+	if *maxInflight > 0 || *tenantRPS > 0 {
+		admit = admission.NewController(admission.Options{
+			MaxConcurrent: *maxInflight,
+			MaxQueue:      *maxQueue,
+			QueueTimeout:  *queueTimeout,
+			TenantRate:    *tenantRPS,
+			TenantBurst:   *tenantBurst,
+			RetryAfter:    *retryAfter,
+		})
+		admit.Instrument(reg, "store")
+		logger.Info("admission control enabled",
+			slog.Int("max_inflight", *maxInflight),
+			slog.Int("max_queue", *maxQueue),
+			slog.Duration("queue_timeout", *queueTimeout),
+			slog.Float64("tenant_rps", *tenantRPS))
+	}
+
 	mode := "public"
 	if *token != "" {
 		mode = "private"
@@ -170,7 +200,7 @@ func run() error {
 		slog.String("traces", "/debug/traces"))
 	srv := &http.Server{
 		Addr: *addr,
-		Handler: telemetry.WithTracing(mux, traces,
+		Handler: telemetry.WithTracing(admit.Middleware(mux), traces,
 			telemetry.TracingOptions{Service: "store", SlowRequest: *slowRequest, Logger: logger}),
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       2 * time.Minute,

@@ -1,0 +1,78 @@
+package admission
+
+import (
+	"errors"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// TenantHeader names the request header carrying the tenant key. The
+// tutorial cohorts set it per student/notebook; absent, the client IP
+// is the tenant, so an unconfigured classroom still gets per-machine
+// fairness.
+const TenantHeader = "X-NSDF-Tenant"
+
+// TenantKey resolves the rate-limiting tenant of a request.
+func TenantKey(r *http.Request) string {
+	if t := r.Header.Get(TenantHeader); t != "" {
+		return t
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// defaultExempt are the path prefixes admission never gates: operators
+// must be able to scrape metrics and inspect traces precisely when the
+// server is saturated, health checks must not flap under load, and the
+// sharded tier's internal replication plane ("/internal/") is peer
+// traffic that was already admitted at its public entry point.
+var defaultExempt = []string{"/metrics", "/healthz", "/debug/", "/internal/"}
+
+// Exempt reports whether path bypasses admission control.
+func Exempt(path string) bool {
+	for _, p := range defaultExempt {
+		if strings.HasPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Middleware gates next behind the controller: shed requests get 429
+// with a Retry-After hint (in whole seconds, rounded up) and a generic
+// body; requests whose client vanished while queued get nothing. A nil
+// controller passes everything through, so servers can wire the wrap
+// unconditionally.
+func (c *Controller) Middleware(next http.Handler) http.Handler {
+	if c == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if Exempt(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		release, err := c.Acquire(r.Context(), TenantKey(r))
+		if err != nil {
+			var shed *ShedError
+			if errors.As(err, &shed) {
+				secs := int64(shed.RetryAfter.Seconds() + 0.999)
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+				http.Error(w, "server over capacity; retry later", http.StatusTooManyRequests)
+				return
+			}
+			// Context error: the client is gone; nobody to answer.
+			return
+		}
+		defer release()
+		next.ServeHTTP(w, r)
+	})
+}

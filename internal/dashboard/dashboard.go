@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"image"
 	"image/png"
+	"log/slog"
 	"math"
 	"net/http"
 	"sort"
@@ -37,6 +38,7 @@ type Server struct {
 	reg     *telemetry.Registry
 	tel     *telemetry.HTTPMetrics
 	traces  *trace.Collector
+	logger  *slog.Logger
 }
 
 // NewServer returns an empty dashboard.
@@ -57,6 +59,24 @@ func (s *Server) EnableTelemetry(reg *telemetry.Registry) {
 	for name, e := range s.engines {
 		e.Instrument(reg, name)
 	}
+}
+
+// SetLogger routes the server's own log records (internal server
+// errors, with their trace IDs) to l; nil keeps slog.Default().
+func (s *Server) SetLogger(l *slog.Logger) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.logger = l
+}
+
+// log returns the configured logger, defaulting to slog.Default().
+func (s *Server) log() *slog.Logger {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.logger != nil {
+		return s.logger
+	}
+	return slog.Default()
 }
 
 // EnableTracing serves the collector's retained request traces at
@@ -321,7 +341,7 @@ func (s *Server) handleData(w http.ResponseWriter, r *http.Request) {
 	}
 	payload, err := EncodeNPY(grid)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.internalError(w, r, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -453,6 +473,20 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(v)
+}
+
+// internalError answers a server-side failure without echoing the
+// error to the client: internal error strings name backends, paths, and
+// dataset internals — reconnaissance material, not a user-actionable
+// message. The real error is logged with the request's trace ID so an
+// operator can join the 500 the client reported to its /debug/traces
+// entry.
+func (s *Server) internalError(w http.ResponseWriter, r *http.Request, err error) {
+	s.log().Error("internal error",
+		slog.String("trace", trace.ID(r.Context())),
+		slog.String("path", r.URL.Path),
+		slog.String("error", err.Error()))
+	http.Error(w, "dashboard: internal error", http.StatusInternalServerError)
 }
 
 // readError reports a failed region read. A cancelled request context

@@ -204,7 +204,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	}
 	rep, err := metrics.Compare(gridA.Data, gridB.Data, gridA.W, gridA.H)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.internalError(w, r, err)
 		return
 	}
 	writeJSON(w, map[string]any{

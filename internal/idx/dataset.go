@@ -40,6 +40,7 @@ type Dataset struct {
 	fillCache        FillerCache
 	parallelism      int
 	writeParallelism int
+	pressure         func() float64
 	tel              *dsMetrics
 	name             string
 
@@ -166,11 +167,37 @@ func (d *Dataset) SetFetchParallelism(n int) {
 	d.parallelism = n
 }
 
+// SetFetchPressure attaches a load-pressure source (such as
+// admission.Controller.Pressure) consulted per read: at pressure 0 the
+// configured fetch parallelism applies unchanged, and as pressure
+// approaches 1 each read's fan-out contracts toward a single worker.
+// This is the backpressure hook that keeps an admission-bounded server
+// from multiplying every admitted request into N concurrent backend
+// fetches while the tier is already saturated. fn must be safe for
+// concurrent use; nil restores unconditional parallelism. Call it at
+// setup time, alongside SetFetchParallelism.
+func (d *Dataset) SetFetchPressure(fn func() float64) {
+	d.pressure = fn
+}
+
 func (d *Dataset) fetchParallelism() int {
-	if d.parallelism < 1 {
-		return 1
+	n := d.parallelism
+	if n < 1 {
+		n = 1
 	}
-	return d.parallelism
+	if d.pressure != nil && n > 1 {
+		p := d.pressure()
+		if p > 1 {
+			p = 1
+		}
+		if p > 0 {
+			n -= int(p*float64(n-1) + 0.5)
+			if n < 1 {
+				n = 1
+			}
+		}
+	}
+	return n
 }
 
 // SetWriteParallelism bounds how many blocks WriteGrid and WriteVolume

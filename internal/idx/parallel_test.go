@@ -117,6 +117,48 @@ func TestParallelismClampedAndIdempotent(t *testing.T) {
 	}
 }
 
+// TestFetchPressureShrinksParallelism pins the backpressure contract:
+// fetchParallelism scales linearly from the configured worker count at
+// pressure 0 down to exactly 1 at pressure >= 1, and a read under full
+// pressure really does fetch serially.
+func TestFetchPressureShrinksParallelism(t *testing.T) {
+	ds, be, g := newParallelDataset(t)
+	ds.SetFetchParallelism(8)
+
+	pressure := 0.0
+	ds.SetFetchPressure(func() float64 { return pressure })
+	for _, tc := range []struct {
+		pressure float64
+		want     int
+	}{
+		{0, 8}, {0.5, 4} /* 8 - round(0.5*7) = 4 */, {1, 1}, {2.5, 1}, {-1, 8},
+	} {
+		pressure = tc.pressure
+		if got := ds.fetchParallelism(); got != tc.want {
+			t.Errorf("pressure %.2f: workers = %d, want %d", tc.pressure, got, tc.want)
+		}
+	}
+
+	// Under full pressure the read must not overlap backend Gets.
+	pressure = 1
+	out, _, err := ds.ReadFull(context.Background(), "elevation", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !raster.Equal(g, out) {
+		t.Error("pressured read produced different data")
+	}
+	if be.Peak() != 1 {
+		t.Errorf("peak concurrent Gets = %d under full pressure, want 1", be.Peak())
+	}
+
+	// Dropping the hook restores the configured parallelism.
+	ds.SetFetchPressure(nil)
+	if got := ds.fetchParallelism(); got != 8 {
+		t.Errorf("workers after clearing pressure = %d, want 8", got)
+	}
+}
+
 // failingBackend fails Gets for selected block keys.
 type failingBackend struct {
 	*MemBackend

@@ -97,6 +97,13 @@ func (e *Engine) Dataset() *idx.Dataset { return e.ds }
 // stores.
 func (e *Engine) SetFetchParallelism(n int) { e.ds.SetFetchParallelism(n) }
 
+// SetFetchPressure attaches a load-pressure source that shrinks the
+// per-request fetch fan-out under load; see
+// idx.Dataset.SetFetchPressure. Servers wire it to their admission
+// controller so backend concurrency contracts when the front door is
+// saturated.
+func (e *Engine) SetFetchPressure(fn func() float64) { e.ds.SetFetchPressure(fn) }
+
 // CacheStats reports the engine's block-cache counters.
 func (e *Engine) CacheStats() cache.Stats { return e.cache.Stats() }
 

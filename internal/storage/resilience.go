@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nsdfgo/internal/telemetry"
@@ -100,17 +101,31 @@ func (f *Flaky) List(ctx context.Context, prefix string) ([]ObjectInfo, error) {
 // Retry wraps a Store with bounded exponential-backoff retries on
 // transient failures. Permanent errors (ErrNotExist, ErrUnauthorized,
 // context cancellation) are returned immediately.
+//
+// Backoff is exponential with full jitter: the ceiling doubles per
+// retry (BaseDelay, 2*BaseDelay, 4*BaseDelay, ...) and each sleep is
+// drawn uniformly from [0, ceiling). Deterministic doubling would make
+// every client that hit one shared transient — a store blip, a shed
+// burst — retry again in lockstep, re-creating the overload each wave;
+// jitter decorrelates the herd.
 type Retry struct {
 	inner Store
 	// Attempts is the maximum number of tries per operation (>= 1).
 	Attempts int
-	// BaseDelay is the first backoff; it doubles per retry. Zero disables
-	// sleeping (pure retry), which keeps tests fast.
+	// BaseDelay is the first backoff ceiling; it doubles per retry. Zero
+	// disables sleeping (pure retry), which keeps tests fast.
 	BaseDelay time.Duration
 
-	mu      sync.Mutex
-	retries int64
-	counter *telemetry.Counter
+	// retries and counter are lock-free: do() runs on every operation of
+	// every client, and a shared mutex here serialises exactly the
+	// flood-recovery path where throughput matters most.
+	retries atomic.Int64
+	counter atomic.Pointer[telemetry.Counter]
+
+	// rngMu guards rng, the injected jitter source (math/rand.Rand is
+	// not concurrency-safe). nil rng uses the global locked source.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // NewRetry wraps inner with up to attempts tries per operation.
@@ -121,19 +136,40 @@ func NewRetry(inner Store, attempts int, baseDelay time.Duration) *Retry {
 	return &Retry{inner: inner, Attempts: attempts, BaseDelay: baseDelay}
 }
 
-// Retries reports how many retries were performed.
-func (r *Retry) Retries() int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.retries
+// SeedJitter fixes the jitter source to a deterministic seeded stream,
+// for tests that pin the backoff distribution. Call before use.
+func (r *Retry) SeedJitter(seed int64) {
+	r.rngMu.Lock()
+	r.rng = rand.New(rand.NewSource(seed))
+	r.rngMu.Unlock()
 }
+
+// Retries reports how many retries were performed.
+func (r *Retry) Retries() int64 { return r.retries.Load() }
 
 // InstrumentRetries mirrors the retry count into a telemetry registry as
 // nsdf_storage_retries_total{backend}.
 func (r *Retry) InstrumentRetries(reg *telemetry.Registry, backend string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.counter = reg.Counter("nsdf_storage_retries_total", "backend", backend)
+	r.counter.Store(reg.Counter("nsdf_storage_retries_total", "backend", backend))
+}
+
+// backoffDelay draws the sleep before retry attempt (attempt >= 1):
+// uniform in [0, BaseDelay<<(attempt-1)), the "full jitter" scheme.
+// A zero BaseDelay disables sleeping entirely.
+func (r *Retry) backoffDelay(attempt int) time.Duration {
+	if r.BaseDelay <= 0 {
+		return 0
+	}
+	ceiling := r.BaseDelay << (attempt - 1)
+	if ceiling <= 0 { // shift overflow on absurd attempt counts
+		ceiling = r.BaseDelay
+	}
+	r.rngMu.Lock()
+	defer r.rngMu.Unlock()
+	if r.rng != nil {
+		return time.Duration(r.rng.Int63n(int64(ceiling)))
+	}
+	return time.Duration(rand.Int63n(int64(ceiling)))
 }
 
 // permanent reports whether err must not be retried.
@@ -153,21 +189,17 @@ func permanent(err error) bool {
 // outcome — the trace-level view of a flaky wide-area store.
 func (r *Retry) do(ctx context.Context, op string, fn func() error) error {
 	var err error
-	delay := r.BaseDelay
 	traced := trace.Active(ctx)
 	for attempt := 0; attempt < r.Attempts; attempt++ {
 		if cerr := ctx.Err(); cerr != nil {
 			return cerr
 		}
 		if attempt > 0 {
-			r.mu.Lock()
-			r.retries++
-			c := r.counter
-			r.mu.Unlock()
-			if c != nil {
+			r.retries.Add(1)
+			if c := r.counter.Load(); c != nil {
 				c.Inc()
 			}
-			if delay > 0 {
+			if delay := r.backoffDelay(attempt); delay > 0 {
 				t := time.NewTimer(delay)
 				select {
 				case <-ctx.Done():
@@ -175,7 +207,6 @@ func (r *Retry) do(ctx context.Context, op string, fn func() error) error {
 					return ctx.Err()
 				case <-t.C:
 				}
-				delay *= 2
 			}
 		}
 		var attemptStart time.Time

@@ -9,6 +9,7 @@ import (
 
 	"nsdfgo/internal/idx"
 	"nsdfgo/internal/raster"
+	"nsdfgo/internal/telemetry"
 )
 
 func TestFlakyInjectsAtRate(t *testing.T) {
@@ -245,6 +246,88 @@ func TestRetryPreCancelledMakesZeroCalls(t *testing.T) {
 	}
 	if n := inner.Calls(); n != 0 {
 		t.Fatalf("cancelled retry reached the inner store %d times, want 0", n)
+	}
+}
+
+// TestRetryBackoffFullJitterBounds pins the backoff distribution: the
+// sleep before retry k is uniform in [0, BaseDelay<<(k-1)), so delays
+// stay inside the doubling envelope, actually spread out (no
+// deterministic lockstep), and average near half the ceiling — the
+// "full jitter" scheme that decorrelates retry storms after a shared
+// transient.
+func TestRetryBackoffFullJitterBounds(t *testing.T) {
+	base := 8 * time.Millisecond
+	r := NewRetry(NewMemStore(), 5, base)
+	r.SeedJitter(42)
+	for attempt := 1; attempt <= 4; attempt++ {
+		ceiling := base << (attempt - 1)
+		const samples = 2000
+		var sum time.Duration
+		distinct := map[time.Duration]bool{}
+		for i := 0; i < samples; i++ {
+			d := r.backoffDelay(attempt)
+			if d < 0 || d >= ceiling {
+				t.Fatalf("attempt %d: delay %v outside [0,%v)", attempt, d, ceiling)
+			}
+			sum += d
+			distinct[d] = true
+		}
+		mean := sum / samples
+		if mean < ceiling/4 || mean > 3*ceiling/4 {
+			t.Errorf("attempt %d: mean delay %v, want within [%v,%v] of a uniform draw over [0,%v)",
+				attempt, mean, ceiling/4, 3*ceiling/4, ceiling)
+		}
+		if len(distinct) < samples/10 {
+			t.Errorf("attempt %d: only %d distinct delays in %d draws — backoff is not jittered", attempt, len(distinct), samples)
+		}
+	}
+	// Determinism under an injected seed: two identically seeded sources
+	// draw identical streams (the testability contract).
+	a, b := NewRetry(NewMemStore(), 5, base), NewRetry(NewMemStore(), 5, base)
+	a.SeedJitter(7)
+	b.SeedJitter(7)
+	for i := 0; i < 100; i++ {
+		if da, db := a.backoffDelay(2), b.backoffDelay(2); da != db {
+			t.Fatalf("draw %d: same seed diverged (%v vs %v)", i, da, db)
+		}
+	}
+	// Zero BaseDelay never sleeps.
+	z := NewRetry(NewMemStore(), 5, 0)
+	if d := z.backoffDelay(3); d != 0 {
+		t.Errorf("zero-BaseDelay backoff = %v, want 0", d)
+	}
+}
+
+// TestRetryCountersConcurrent exercises the lock-free retry counter and
+// telemetry mirror from many goroutines (run under -race via `make
+// race`): counts must neither tear nor drop.
+func TestRetryCountersConcurrent(t *testing.T) {
+	ctx := context.Background()
+	inner := NewMemStore()
+	inner.Put(ctx, "k", []byte("v"))
+	r := NewRetry(NewFlaky(inner, 0.5, 77), 50, 0)
+	reg := telemetry.NewRegistry()
+	r.InstrumentRetries(reg, "flaky")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, err := r.Get(ctx, "k"); err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Retries() == 0 {
+		t.Fatal("no retries recorded at 50% failure rate")
+	}
+	got := reg.Counter("nsdf_storage_retries_total", "backend", "flaky").Value()
+	if got != r.Retries() {
+		t.Errorf("telemetry mirror %d != Retries() %d", got, r.Retries())
 	}
 }
 
