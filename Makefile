@@ -45,17 +45,21 @@ bench-readpath:
 bench-readpath-smoke:
 	NSDF_BENCH_READPATH_ITERS=1 $(GO) test ./internal/idx -run '^TestBenchReadpathEmit$$' -count=1
 
-# Measure what an active trace costs the warm-cache ReadBox path and
-# refresh BENCH_trace_overhead.json. Fails if the overhead exceeds the
-# 5% budget.
+# Measure what an active trace costs the warm-cache ReadBox path AND a
+# sharded read across HTTP store processes (header propagation, remote
+# span records), refreshing both sections of BENCH_trace_overhead.json.
+# Fails if either overhead exceeds the 5% budget.
 bench-trace:
 	NSDF_BENCH_TRACE_ITERS=20 NSDF_BENCH_TRACE_OUT=$(CURDIR)/BENCH_trace_overhead.json \
 		$(GO) test ./internal/idx -run '^TestBenchTraceOverheadEmit$$' -count=1 -v
+	NSDF_BENCH_TRACE_ITERS=50 NSDF_BENCH_TRACE_OUT=$(CURDIR)/BENCH_trace_overhead.json \
+		$(GO) test . -run '^TestBenchTraceDistributedEmit$$' -count=1 -v
 
-# One-iteration smoke of the trace-overhead harness (temp output, no
-# gating): keeps it compiling and running under `make check`.
+# One-iteration smoke of both trace-overhead harnesses (temp output, no
+# gating): keeps them compiling and running under `make check`.
 bench-trace-smoke:
 	NSDF_BENCH_TRACE_ITERS=1 $(GO) test ./internal/idx -run '^TestBenchTraceOverheadEmit$$' -count=1
+	NSDF_BENCH_TRACE_ITERS=1 $(GO) test . -run '^TestBenchTraceDistributedEmit$$' -count=1
 
 # Measure the tiered block cache — zero-copy hit path (gated at 0
 # allocs/op), fetch coalescing under concurrent readers, TinyLFU

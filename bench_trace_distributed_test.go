@@ -1,0 +1,169 @@
+package nsdfgo_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"nsdfgo/internal/shard"
+	"nsdfgo/internal/storage"
+	"nsdfgo/internal/telemetry"
+	"nsdfgo/internal/telemetry/trace"
+)
+
+// This file measures what CROSS-PROCESS tracing costs a sharded read:
+// the same router-over-HTTP-stores topology as production, run once
+// with a plain context and once under an active trace — where every
+// peer request additionally injects the propagation headers and every
+// store adopts the inbound ID, records its own spans, and retains the
+// trace. The distributed section of BENCH_trace_overhead.json comes
+// from here; the budget is the same 5% the in-process path promises.
+
+// distTraceSample is one measured variant of the distributed section.
+type distTraceSample struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	UsPerOp float64 `json:"us_per_op"`
+}
+
+// measureDistPair times the two variants in ALTERNATING repetitions and
+// keeps the fastest repetition of each. Localhost HTTP latency drifts
+// on the order of the effect being measured, so timing the variants in
+// separate blocks (as the in-process emitter safely does for pure CPU
+// work) would gate on scheduler weather; interleaving cancels the
+// drift.
+func measureDistPair(iters, reps int, a, b func()) (bestA, bestB distTraceSample) {
+	bestA, bestB = distTraceSample{NsPerOp: -1}, distTraceSample{NsPerOp: -1}
+	once := func(fn func()) float64 {
+		fn() // warm-up
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(iters)
+	}
+	for r := 0; r < reps; r++ {
+		if ns := once(a); bestA.NsPerOp < 0 || ns < bestA.NsPerOp {
+			bestA = distTraceSample{NsPerOp: ns, UsPerOp: ns / 1e3}
+		}
+		if ns := once(b); bestB.NsPerOp < 0 || ns < bestB.NsPerOp {
+			bestB = distTraceSample{NsPerOp: ns, UsPerOp: ns / 1e3}
+		}
+	}
+	return bestA, bestB
+}
+
+// TestBenchTraceDistributedEmit measures traced vs untraced sharded
+// reads across two HTTP store processes and merges a "distributed"
+// section into BENCH_trace_overhead.json. Gated on
+// NSDF_BENCH_TRACE_ITERS like the in-process emitter; with
+// NSDF_BENCH_TRACE_OUT set it amends that file in place (run the idx
+// emitter first — `make bench-trace` sequences both), otherwise it
+// writes a throwaway temp file.
+func TestBenchTraceDistributedEmit(t *testing.T) {
+	iters, _ := strconv.Atoi(os.Getenv("NSDF_BENCH_TRACE_ITERS"))
+	if iters <= 0 {
+		t.Skip("set NSDF_BENCH_TRACE_ITERS>=1 to run the distributed trace overhead emitter")
+	}
+	// Each op is a full sweep over the key set; scale the raw iteration
+	// count down accordingly but keep at least the smoke's single pass.
+	reps := 5
+	if iters == 1 {
+		reps = 1 // smoke mode: just prove the harness runs
+	}
+	outPath := os.Getenv("NSDF_BENCH_TRACE_OUT")
+	if outPath == "" {
+		outPath = t.TempDir() + "/BENCH_trace_overhead.json"
+	}
+
+	// Two store processes with per-node collectors, exactly the serving
+	// topology: the traced variant pays for header injection, remote
+	// parent adoption, span records, and trace retention on every hop.
+	newStore := func(name string) string {
+		col := trace.NewCollector(8)
+		col.SetNode(name)
+		srv := httptest.NewServer(telemetry.WithTracing(
+			storage.NewServer(storage.NewMemStore(), ""), col,
+			telemetry.TracingOptions{Service: name}))
+		t.Cleanup(srv.Close)
+		return srv.URL
+	}
+	r, err := shard.NewRouter([]shard.Node{
+		{Name: "store-a", Store: storage.NewClient(newStore("store-a"), "")},
+		{Name: "store-b", Store: storage.NewClient(newStore("store-b"), "")},
+	}, shard.Options{Replicas: 2}) // no hedging: measure the straight path
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	keys := make([]string, 8)
+	payload := make([]byte, 256<<10) // a 2^16-sample float32 block, the IDX tier's unit
+	for i := range keys {
+		keys[i] = "bench/block-" + strconv.Itoa(i)
+		if err := r.Put(ctx, keys[i], payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sweep := func(ctx context.Context) {
+		for _, k := range keys {
+			if _, err := r.Get(ctx, k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	col := trace.NewCollector(8)
+	col.SetNode("dashboard")
+	untraced, traced := measureDistPair(iters, reps,
+		func() { sweep(ctx) },
+		func() {
+			root := col.StartTrace("", "bench.sweep")
+			sweep(trace.NewContext(ctx, root))
+			root.End()
+		})
+
+	overheadPct := 0.0
+	if untraced.NsPerOp > 0 {
+		overheadPct = (traced.NsPerOp - untraced.NsPerOp) / untraced.NsPerOp * 100
+	}
+	dist := map[string]any{
+		"description": "8-key sweep through a 2-node sharded tier over HTTP (replicas=2), with vs without an active trace: the traced run injects propagation headers and every store records + retains its spans. Regenerate with `make bench-trace`.",
+		"topology":    "router -> 2 HTTP stores, 256KiB blocks, no hedging",
+		"iterations":  iters,
+		"gomaxprocs":  runtime.GOMAXPROCS(0),
+		"sweep_untraced": distTraceSample{
+			NsPerOp: untraced.NsPerOp, UsPerOp: untraced.UsPerOp,
+		},
+		"sweep_traced": distTraceSample{
+			NsPerOp: traced.NsPerOp, UsPerOp: traced.UsPerOp,
+		},
+		"overhead_pct": overheadPct,
+		"budget_pct":   5,
+	}
+
+	// Amend the in-process emitter's document rather than clobbering it.
+	doc := map[string]any{}
+	if data, err := os.ReadFile(outPath); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatalf("existing %s does not parse: %v", outPath, err)
+		}
+	}
+	doc["distributed"] = dist
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sharded sweep untraced %.1fus, traced %.1fus: %.2f%% overhead (budget 5%%)",
+		untraced.UsPerOp, traced.UsPerOp, overheadPct)
+	t.Logf("wrote %s", outPath)
+	if reps > 1 && overheadPct > 5 {
+		t.Fatalf("distributed tracing overhead %.2f%% exceeds the 5%% budget", overheadPct)
+	}
+}

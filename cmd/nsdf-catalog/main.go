@@ -23,6 +23,7 @@ import (
 
 	"nsdfgo/internal/catalog"
 	"nsdfgo/internal/telemetry"
+	"nsdfgo/internal/telemetry/flight"
 )
 
 func main() {
@@ -99,8 +100,17 @@ func run() error {
 		telemetry.SetLogger(logger)
 		reg := telemetry.NewRegistry()
 		telemetry.RegisterRuntimeMetrics(reg)
+		telemetry.RegisterBuildInfo(reg)
 		srv := catalog.NewServer(cat)
 		srv.EnableTelemetry(reg)
+		// The anomaly flight recorder is mounted ahead of the catalog
+		// routes so every server in the fleet answers
+		// /debug/flightrecorder, even ones with few anomaly sources.
+		fl := flight.New(0)
+		fl.SetNode("catalog")
+		mux := http.NewServeMux()
+		mux.Handle("/debug/flightrecorder", fl.Handler())
+		mux.Handle("/", srv)
 		if *pprofAddr != "" {
 			go func(addr string) {
 				logger.Info("pprof listening", slog.String("addr", addr), slog.String("path", "/debug/pprof/"))
@@ -116,7 +126,7 @@ func run() error {
 			slog.String("metrics", "/metrics"))
 		hs := &http.Server{
 			Addr:              *addr,
-			Handler:           srv,
+			Handler:           mux,
 			ReadHeaderTimeout: 5 * time.Second,
 			IdleTimeout:       2 * time.Minute,
 		}

@@ -22,8 +22,10 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"nsdfgo/internal/admission"
@@ -36,6 +38,7 @@ import (
 	"nsdfgo/internal/shard"
 	"nsdfgo/internal/storage"
 	"nsdfgo/internal/telemetry"
+	"nsdfgo/internal/telemetry/flight"
 	"nsdfgo/internal/telemetry/trace"
 )
 
@@ -68,6 +71,9 @@ func run() error {
 	logFormat := flag.String("log-format", telemetry.LogFormatText, "log encoding: text or json")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
 	traceBuffer := flag.Int("trace-buffer", trace.DefaultCapacity, "completed traces retained for /debug/traces")
+	nodeName := flag.String("node-name", "dashboard", "this process's node name, stamped on every span it records")
+	federateTimeout := flag.Duration("federate-timeout", dashboard.DefaultFederateTimeout, "per-peer fetch deadline for /debug/traces?federate=1 assembly (with -peers)")
+	flightBuffer := flag.Int("flight-buffer", flight.DefaultCapacity, "anomaly events retained for /debug/flightrecorder")
 	peers := flag.String("peers", "", "comma-separated name=url store nodes forming the sharded block tier; -data specs then name key prefixes inside it")
 	peerToken := flag.String("peer-token", "", "bearer token for the sharded tier's stores (with -peers)")
 	replicaCount := flag.Int("replicas", 2, "replicas per block key across the sharded tier (with -peers)")
@@ -91,10 +97,15 @@ func run() error {
 	ctx := context.Background()
 	reg := telemetry.NewRegistry()
 	telemetry.RegisterRuntimeMetrics(reg)
+	telemetry.RegisterBuildInfo(reg)
 	traces := trace.NewCollector(*traceBuffer)
+	traces.SetNode(*nodeName)
+	fl := flight.New(*flightBuffer)
+	fl.SetNode(*nodeName)
 	server := dashboard.NewServer()
 	server.EnableTelemetry(reg)
 	server.EnableTracing(traces)
+	server.EnableFlightRecorder(fl)
 	server.SetLogger(logger)
 	// Admission control fronts every data endpoint: per-tenant rate
 	// limiting plus a bounded-concurrency limiter whose overflow is shed
@@ -111,6 +122,7 @@ func run() error {
 			RetryAfter:    *retryAfter,
 		})
 		admit.Instrument(reg, "dashboard")
+		admit.SetFlight(fl)
 		logger.Info("admission control enabled",
 			slog.Int("max_inflight", *maxInflight),
 			slog.Int("max_queue", *maxQueue),
@@ -157,7 +169,16 @@ func run() error {
 			return err
 		}
 		router.Instrument(reg)
+		router.SetFlight(fl)
 		shardStore = storage.NewInstrumented(router, reg, "shard")
+		// Federated trace assembly pulls remote spans from the peers'
+		// debug endpoints, which live at the peer base URL (the /internal
+		// suffix is an object-plane detail).
+		targets, err := shard.PeerTargets(*peers)
+		if err != nil {
+			return err
+		}
+		server.EnableFederation(targets, *federateTimeout)
 		logger.Info("sharded block tier enabled",
 			slog.Int("nodes", router.Ring().Len()),
 			slog.Int("replicas", router.Replicas()),
@@ -235,14 +256,35 @@ func run() error {
 	var inner http.Handler = telemetry.WithRequestTimeout(server, *requestTimeout)
 	inner = admit.Middleware(inner)
 	handler := telemetry.WithTracing(inner, traces,
-		telemetry.TracingOptions{Service: "dashboard", SlowRequest: *slowRequest, Logger: logger})
+		telemetry.TracingOptions{Service: "dashboard", SlowRequest: *slowRequest, Logger: logger, Flight: fl})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	return srv.ListenAndServe()
+	return serveUntilSignal(srv, logger, fl)
+}
+
+// serveUntilSignal runs srv until it fails or the process is told to
+// stop, then drains connections and dumps the flight recorder — the
+// anomaly ring's last chance to reach the logs.
+func serveUntilSignal(srv *http.Server, logger *slog.Logger, fl *flight.Recorder) error {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		fl.Dump(logger)
+		return err
+	case sig := <-stop:
+		logger.Info("shutting down", slog.String("signal", sig.String()))
+		fl.Dump(logger)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
 }
 
 // servePprof runs the opt-in profiling listener. It is a separate server

@@ -50,6 +50,7 @@ func run() error {
 	progressiveSteps := flag.Int("progressive-steps", 3, "refinement requests per progressive stream")
 	boxes := flag.String("boxes", "0.05,0.25,1.0", "comma-separated box edge sizes as fractions of the full extent")
 	timeout := flag.Duration("timeout", 15*time.Second, "per-request timeout; keeps the run finishing even against a dead server")
+	slowestN := flag.Int("slowest", 5, "slowest requests kept in the report with their trace IDs (-1 disables)")
 	out := flag.String("out", "", "write the JSON report here (empty prints to stdout)")
 	flag.Parse()
 
@@ -74,6 +75,7 @@ func run() error {
 		ProgressiveSteps: *progressiveSteps,
 		BoxFractions:     fractions,
 		Timeout:          *timeout,
+		SlowestN:         *slowestN,
 	}
 	if *closed {
 		opts.Rate = 0
@@ -92,6 +94,11 @@ func run() error {
 			pr.Name, pr.Seconds, pr.Requests, pr.OK, pr.Shed,
 			pr.ClientE+pr.ServerE, pr.Failed, pr.Dropped, pr.Goodput,
 			pr.P50ms, pr.P95ms, pr.P99ms)
+	}
+
+	for _, sr := range rep.Slowest {
+		fmt.Fprintf(os.Stderr, "slow %8.1fms status=%d trace=%s %s\n",
+			sr.LatencyMs, sr.Status, sr.TraceID, sr.URL)
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")

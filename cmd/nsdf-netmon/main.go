@@ -22,6 +22,7 @@ import (
 
 	"nsdfgo/internal/netmon"
 	"nsdfgo/internal/telemetry"
+	"nsdfgo/internal/telemetry/flight"
 )
 
 func main() {
@@ -57,9 +58,16 @@ func run() error {
 	if *monitor > 0 {
 		reg := telemetry.NewRegistry()
 		telemetry.RegisterRuntimeMetrics(reg)
+		telemetry.RegisterBuildInfo(reg)
+		fl := flight.New(0)
+		fl.SetNode("netmon")
 		if *metricsAddr != "" {
 			mux := http.NewServeMux()
 			mux.Handle("/metrics", reg.Handler())
+			mux.Handle("/debug/flightrecorder", fl.Handler())
+			mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+				telemetry.WriteHealth(w, "netmon")
+			})
 			srv := &http.Server{
 				Addr:              *metricsAddr,
 				Handler:           mux,
@@ -82,7 +90,7 @@ func run() error {
 				}
 			}(*pprofAddr)
 		}
-		return runMonitor(net, reg, *monitor, *probes, *degrade)
+		return runMonitor(net, reg, fl, logger, *monitor, *probes, *degrade)
 	}
 
 	rep, err := net.Measure(*probes)
@@ -100,7 +108,7 @@ func run() error {
 	return nil
 }
 
-func runMonitor(net *netmon.Network, reg *telemetry.Registry, sweeps, probes int, degrade string) error {
+func runMonitor(net *netmon.Network, reg *telemetry.Registry, fl *flight.Recorder, logger *slog.Logger, sweeps, probes int, degrade string) error {
 	mon, err := netmon.NewMonitor(net, sweeps+1)
 	if err != nil {
 		return err
@@ -141,7 +149,9 @@ func runMonitor(net *netmon.Network, reg *telemetry.Registry, sweeps, probes int
 	fmt.Printf("%d degradation alert(s):\n", len(alerts))
 	for _, a := range alerts {
 		fmt.Printf("  %-16s %s\n", a.Pair, a.Reason)
+		fl.Record(flight.KindAlert, "", "link %s degraded: %s", a.Pair, a.Reason)
 	}
+	fl.Dump(logger)
 	fmt.Println(monitorSummary(reg))
 	return nil
 }

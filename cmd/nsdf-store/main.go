@@ -28,11 +28,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"nsdfgo/internal/admission"
@@ -40,6 +43,7 @@ import (
 	"nsdfgo/internal/shard"
 	"nsdfgo/internal/storage"
 	"nsdfgo/internal/telemetry"
+	"nsdfgo/internal/telemetry/flight"
 	"nsdfgo/internal/telemetry/trace"
 )
 
@@ -80,6 +84,7 @@ func run() error {
 	logFormat := flag.String("log-format", telemetry.LogFormatText, "log encoding: text or json")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
 	traceBuffer := flag.Int("trace-buffer", trace.DefaultCapacity, "completed traces retained for /debug/traces")
+	flightBuffer := flag.Int("flight-buffer", flight.DefaultCapacity, "anomaly events retained for /debug/flightrecorder")
 	flag.Parse()
 
 	logger, err := telemetry.NewLogger(os.Stderr, *logFormat)
@@ -94,7 +99,11 @@ func run() error {
 	}
 	reg := telemetry.NewRegistry()
 	telemetry.RegisterRuntimeMetrics(reg)
+	telemetry.RegisterBuildInfo(reg)
 	traces := trace.NewCollector(*traceBuffer)
+	traces.SetNode(*nodeName)
+	fl := flight.New(*flightBuffer)
+	fl.SetNode(*nodeName)
 	// With -peers, this process becomes one node of a sharded tier: its
 	// FileStore joins a consistent-hash ring with the peer stores, and
 	// every request routes through shard.Router (replication, hedged
@@ -119,6 +128,7 @@ func run() error {
 			return err
 		}
 		router.Instrument(reg)
+		router.SetFlight(fl)
 		inner = router
 		logger.Info("sharded tier enabled",
 			slog.String("node", *nodeName),
@@ -157,6 +167,7 @@ func run() error {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/debug/traces", traces.Handler())
+	mux.Handle("/debug/flightrecorder", fl.Handler())
 	mux.Handle(internalPlane+"/",
 		http.StripPrefix(internalPlane,
 			telemetry.WithRequestTimeout(storage.NewServer(fileStore, *token), *requestTimeout)))
@@ -178,6 +189,7 @@ func run() error {
 			RetryAfter:    *retryAfter,
 		})
 		admit.Instrument(reg, "store")
+		admit.SetFlight(fl)
 		logger.Info("admission control enabled",
 			slog.Int("max_inflight", *maxInflight),
 			slog.Int("max_queue", *maxQueue),
@@ -201,11 +213,32 @@ func run() error {
 	srv := &http.Server{
 		Addr: *addr,
 		Handler: telemetry.WithTracing(admit.Middleware(mux), traces,
-			telemetry.TracingOptions{Service: "store", SlowRequest: *slowRequest, Logger: logger}),
+			telemetry.TracingOptions{Service: "store", SlowRequest: *slowRequest, Logger: logger, Flight: fl}),
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	return srv.ListenAndServe()
+	return serveUntilSignal(srv, logger, fl)
+}
+
+// serveUntilSignal runs srv until it fails or the process is told to
+// stop, then drains connections and dumps the flight recorder — the
+// anomaly ring's last chance to reach the logs.
+func serveUntilSignal(srv *http.Server, logger *slog.Logger, fl *flight.Recorder) error {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		fl.Dump(logger)
+		return err
+	case sig := <-stop:
+		logger.Info("shutting down", slog.String("signal", sig.String()))
+		fl.Dump(logger)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
 }
 
 // servePprof runs the opt-in profiling listener, separate from the data

@@ -24,9 +24,11 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nsdfgo/internal/telemetry"
+	"nsdfgo/internal/telemetry/flight"
 )
 
 // Shed reasons, used both as error details and telemetry label values.
@@ -112,6 +114,19 @@ type Controller struct {
 	queueDepth  *telemetry.Gauge
 	inflightG   *telemetry.Gauge
 	waitSeconds *telemetry.Histogram
+
+	// fl receives a shed flight event for every rejected request; nil
+	// disables (SetFlight).
+	fl atomic.Pointer[flight.Recorder]
+}
+
+// SetFlight wires the flight recorder that receives one shed event per
+// rejected request, stamped with the tenant, reason, and active trace
+// ID. Safe to call concurrently with admission decisions.
+func (c *Controller) SetFlight(fl *flight.Recorder) {
+	if fl != nil {
+		c.fl.Store(fl)
+	}
 }
 
 // NewController builds a controller from opts.

@@ -6,6 +6,9 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"nsdfgo/internal/telemetry/flight"
+	"nsdfgo/internal/telemetry/trace"
 )
 
 // TenantHeader names the request header carrying the tenant key. The
@@ -61,6 +64,8 @@ func (c *Controller) Middleware(next http.Handler) http.Handler {
 		if err != nil {
 			var shed *ShedError
 			if errors.As(err, &shed) {
+				c.fl.Load().Record(flight.KindShed, trace.ID(r.Context()),
+					"%s %s tenant=%s reason=%s", r.Method, r.URL.Path, TenantKey(r), shed.Reason)
 				secs := int64(shed.RetryAfter.Seconds() + 0.999)
 				if secs < 1 {
 					secs = 1

@@ -73,7 +73,7 @@ func routeLabel(r *http.Request) string {
 func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.URL.Path == "/healthz":
-		fmt.Fprintln(w, "ok")
+		telemetry.WriteHealth(w, "catalog")
 	case r.URL.Path == "/records" && r.Method == http.MethodPost:
 		s.handleIngest(w, r)
 	case len(r.URL.Path) > len("/records/") && r.URL.Path[:9] == "/records/" && r.Method == http.MethodGet:

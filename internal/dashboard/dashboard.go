@@ -28,6 +28,7 @@ import (
 	"nsdfgo/internal/query"
 	"nsdfgo/internal/raster"
 	"nsdfgo/internal/telemetry"
+	"nsdfgo/internal/telemetry/flight"
 	"nsdfgo/internal/telemetry/trace"
 )
 
@@ -39,6 +40,14 @@ type Server struct {
 	tel     *telemetry.HTTPMetrics
 	traces  *trace.Collector
 	logger  *slog.Logger
+	flight  *flight.Recorder
+
+	// Federation state (EnableFederation): peer debug endpoints the
+	// dashboard pulls remote spans from when /debug/traces?federate=1
+	// assembles a cluster-wide trace.
+	peers      map[string]string
+	fedTimeout time.Duration
+	fedClient  *http.Client
 }
 
 // NewServer returns an empty dashboard.
@@ -165,10 +174,18 @@ func (s *Server) Datasets() []DatasetInfo {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
-	reg, tel, traces := s.reg, s.tel, s.traces
+	reg, tel, traces, fl, peers := s.reg, s.tel, s.traces, s.flight, s.peers
 	s.mu.RUnlock()
 	if traces != nil && r.URL.Path == "/debug/traces" {
+		if peers != nil && r.URL.Query().Get("federate") == "1" {
+			s.handleFederatedTrace(w, r)
+			return
+		}
 		traces.Handler().ServeHTTP(w, r)
+		return
+	}
+	if fl != nil && r.URL.Path == "/debug/flightrecorder" {
+		fl.Handler().ServeHTTP(w, r)
 		return
 	}
 	if tel == nil {
@@ -186,7 +203,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if !handled {
 		route = "other"
 	}
-	tel.Observe(route, rec.Code, time.Since(start))
+	tel.ObserveTraced(route, rec.Code, time.Since(start), trace.ID(r.Context()))
 }
 
 // route dispatches to the endpoint handlers, reporting whether the path
@@ -194,7 +211,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *Server) route(w http.ResponseWriter, r *http.Request) bool {
 	switch r.URL.Path {
 	case "/healthz":
-		fmt.Fprintln(w, "ok")
+		telemetry.WriteHealth(w, "dashboard")
 	case "/api/datasets":
 		writeJSON(w, s.Datasets())
 	case "/api/render":

@@ -1,0 +1,186 @@
+package dashboard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"nsdfgo/internal/telemetry/flight"
+	"nsdfgo/internal/telemetry/trace"
+)
+
+// DefaultFederateTimeout bounds each per-peer trace fetch during
+// federated assembly when EnableFederation is given a non-positive
+// timeout. A dead peer costs at most this long and degrades the answer
+// instead of failing it.
+const DefaultFederateTimeout = 2 * time.Second
+
+// EnableFederation teaches /debug/traces?federate=1 to assemble
+// cluster-wide traces: the handler fans a trace-ID lookup out to every
+// peer's /debug/traces endpoint, merges the span sets it gets back with
+// the dashboard's own retained trace, and renders one stitched tree.
+//
+// peers maps node name -> debug base URL (scheme://host:port, no
+// trailing path); timeout bounds each per-peer fetch
+// (DefaultFederateTimeout if <= 0). Peers that fail to answer within
+// the timeout are reported in the response's failed list rather than
+// failing the assembly.
+func (s *Server) EnableFederation(peers map[string]string, timeout time.Duration) {
+	if timeout <= 0 {
+		timeout = DefaultFederateTimeout
+	}
+	cp := make(map[string]string, len(peers))
+	for name, base := range peers {
+		cp[name] = base
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.peers = cp
+	s.fedTimeout = timeout
+	s.fedClient = &http.Client{}
+}
+
+// EnableFlightRecorder serves fl's anomaly ring at
+// /debug/flightrecorder.
+func (s *Server) EnableFlightRecorder(fl *flight.Recorder) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flight = fl
+}
+
+// FederatedTrace is the JSON envelope /debug/traces?federate=1 answers
+// with: the merged trace plus the assembly's provenance, so a partial
+// answer (dead peer, evicted trace) is visibly partial.
+type FederatedTrace struct {
+	// Trace is the merged cluster-wide trace (trace.Merge).
+	Trace *trace.TraceData `json:"trace"`
+	// Nodes lists the nodes whose spans made it into the merge.
+	Nodes []string `json:"nodes"`
+	// Failed lists peers that did not answer within the per-node
+	// timeout, with the reason.
+	Failed map[string]string `json:"failed,omitempty"`
+}
+
+// AssembleTrace gathers every node's view of trace id — the dashboard's
+// own collector plus all federation peers, fetched concurrently with
+// the per-node timeout — and merges them into one tree. Peers that
+// fail are recorded in Failed; the merge proceeds with whatever
+// arrived. Returns nil when no node retains the trace.
+func (s *Server) AssembleTrace(ctx context.Context, id string) *FederatedTrace {
+	s.mu.RLock()
+	traces, peers, timeout, client := s.traces, s.peers, s.fedTimeout, s.fedClient
+	s.mu.RUnlock()
+
+	out := &FederatedTrace{Failed: make(map[string]string)}
+	var parts []trace.NodeTrace
+	if traces != nil {
+		if t := traces.Find(id); t != nil {
+			parts = append(parts, trace.NodeTrace{Node: t.Node, Data: t})
+		}
+	}
+
+	type peerResult struct {
+		node string
+		data *trace.TraceData
+		err  error
+	}
+	results := make(chan peerResult, len(peers))
+	var wg sync.WaitGroup
+	for name, base := range peers {
+		wg.Add(1)
+		go func(name, base string) {
+			defer wg.Done()
+			data, err := fetchPeerTrace(ctx, client, base, id, timeout)
+			results <- peerResult{node: name, data: data, err: err}
+		}(name, base)
+	}
+	wg.Wait()
+	close(results)
+	for res := range results {
+		switch {
+		case res.err != nil:
+			out.Failed[res.node] = res.err.Error()
+		case res.data != nil:
+			parts = append(parts, trace.NodeTrace{Node: res.node, Data: res.data})
+		}
+	}
+	if len(parts) == 0 {
+		return nil
+	}
+	out.Trace = trace.Merge(id, parts)
+	for _, p := range parts {
+		node := p.Node
+		if node == "" && p.Data != nil {
+			node = p.Data.Node
+		}
+		out.Nodes = append(out.Nodes, node)
+	}
+	sort.Strings(out.Nodes)
+	return out
+}
+
+// fetchPeerTrace asks one peer's /debug/traces for a single trace ID,
+// bounded by timeout. A peer that does not retain the trace returns
+// (nil, nil): absence is normal — the request may never have touched
+// that node — and must not count as a failed peer.
+func fetchPeerTrace(ctx context.Context, client *http.Client, base, id string, timeout time.Duration) (*trace.TraceData, error) {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	u := base + "/debug/traces?format=json&trace=" + url.QueryEscape(id)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var traces []*trace.TraceData
+	if err := json.NewDecoder(resp.Body).Decode(&traces); err != nil {
+		return nil, fmt.Errorf("decode: %w", err)
+	}
+	if len(traces) == 0 {
+		return nil, nil
+	}
+	return traces[0], nil
+}
+
+// handleFederatedTrace answers /debug/traces?federate=1&trace=<id>.
+func (s *Server) handleFederatedTrace(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	id := q.Get("trace")
+	if id == "" {
+		id = q.Get("id")
+	}
+	if id == "" {
+		http.Error(w, "dashboard: federate=1 needs trace=<id>", http.StatusBadRequest)
+		return
+	}
+	fed := s.AssembleTrace(r.Context(), id)
+	if fed == nil {
+		http.Error(w, "dashboard: trace not found on any node", http.StatusNotFound)
+		return
+	}
+	if q.Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(fed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	trace.WriteText(w, fed.Trace)
+	fmt.Fprintf(w, "assembled from %d node(s): %v\n", len(fed.Nodes), fed.Nodes)
+	for node, reason := range fed.Failed {
+		fmt.Fprintf(w, "peer %s failed: %s\n", node, reason)
+	}
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxHTTPAnalyzer polices outbound-request context threading, the
+// tracing plane's transport: http.NewRequest builds a request with no
+// context, so a peer call made with it ignores the caller's deadline
+// and cancellation AND drops out of the trace — trace.Inject has no
+// active span to read, and the remote span tree silently loses a
+// branch. Library code must use http.NewRequestWithContext with the
+// caller's context. Package main (an entry point may legitimately own
+// a root request) and _test.go files are exempt; anything else needs
+// an explicit //lint:allow ctxhttp with a reason.
+var CtxHTTPAnalyzer = &Analyzer{
+	Name: "ctxhttp",
+	Doc:  "outbound requests must carry the caller's context: use http.NewRequestWithContext, not http.NewRequest",
+	Run:  runCtxHTTP,
+}
+
+func runCtxHTTP(pass *Pass) {
+	if pass.Pkg.Types.Name() == "main" {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		pos := pass.Pkg.Fset.Position(file.Pos())
+		if strings.HasSuffix(pos.Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "net/http" {
+				return true
+			}
+			if fn.Name() == "NewRequest" {
+				pass.Reportf(call.Pos(), "http.NewRequest builds a context-free request that escapes deadlines and tracing: use http.NewRequestWithContext with the caller's context")
+			}
+			return true
+		})
+	}
+}

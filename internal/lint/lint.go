@@ -1,9 +1,11 @@
-// Package lint is the repo's own static-analysis suite: ten analyzers
-// that machine-check the conventions the serving stack depends on —
-// nsdf_-prefixed constant metric names, no silently dropped storage/IDX
-// errors, an allocation-free hot path, sound mutex usage, abortable
-// worker goroutines, caller-threaded contexts (no context.Background()
-// in library code), and spans that are always ended (spanend).
+// Package lint is the repo's own static-analysis suite: eleven
+// analyzers that machine-check the conventions the serving stack
+// depends on — nsdf_-prefixed constant metric names, no silently
+// dropped storage/IDX errors, an allocation-free hot path, sound mutex
+// usage, abortable worker goroutines, caller-threaded contexts (no
+// context.Background() in library code, no context-free
+// http.NewRequest in outbound calls), and spans that are always ended
+// (spanend).
 // Three of them are flow-sensitive, built on the control-flow-graph and
 // dataflow framework in internal/lint/cfg: refcount (cache.Block
 // references released exactly once on every path), lockorder (no
@@ -165,6 +167,7 @@ func Analyzers() []*Analyzer {
 		LockCopyAnalyzer,
 		GoLeakAnalyzer,
 		CtxBackgroundAnalyzer,
+		CtxHTTPAnalyzer,
 		SpanEndAnalyzer,
 		RefCountAnalyzer,
 		LockOrderAnalyzer,

@@ -83,7 +83,7 @@ func renderFindings(pkg *Package, findings []Finding) string {
 // cases, so a matching golden proves the analyzer fires where it must
 // and stays quiet where the escape hatch is used.
 func TestAnalyzerGoldens(t *testing.T) {
-	for _, name := range []string{"metricname", "droppederr", "hotalloc", "lockcopy", "goleak", "ctxbackground", "spanend", "refcount", "lockorder", "ctxleak"} {
+	for _, name := range []string{"metricname", "droppederr", "hotalloc", "lockcopy", "goleak", "ctxbackground", "ctxhttp", "spanend", "refcount", "lockorder", "ctxleak"} {
 		t.Run(name, func(t *testing.T) {
 			pkg := loadFixture(t, name)
 			a := analyzerByName(t, name)
@@ -114,7 +114,7 @@ func TestAnalyzerGoldens(t *testing.T) {
 // that no finding lands on a line covered by a //lint:allow comment
 // (same line or the line below it) in any fixture.
 func TestAllowCommentSuppresses(t *testing.T) {
-	for _, name := range []string{"metricname", "droppederr", "hotalloc", "lockcopy", "goleak", "ctxbackground", "spanend", "refcount", "lockorder", "ctxleak"} {
+	for _, name := range []string{"metricname", "droppederr", "hotalloc", "lockcopy", "goleak", "ctxbackground", "ctxhttp", "spanend", "refcount", "lockorder", "ctxleak"} {
 		pkg := loadFixture(t, name)
 		a := analyzerByName(t, name)
 		findings := Run([]*Package{pkg}, []*Analyzer{a}, fixtureConfig(pkg))

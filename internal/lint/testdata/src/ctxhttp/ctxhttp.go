@@ -1,0 +1,26 @@
+// Package ctxhttp is a lint fixture: every violation below is asserted
+// by internal/lint's golden-file tests.
+package ctxhttp
+
+import (
+	"context"
+	"net/http"
+)
+
+// fetch builds a context-free request — the trace and the caller's
+// deadline both stop here. Must fire.
+func fetch(url string) (*http.Request, error) {
+	return http.NewRequest(http.MethodGet, url, nil) // want: context-free outbound request
+}
+
+// fetchThreaded carries the caller's context: nothing to report.
+func fetchThreaded(ctx context.Context, url string) (*http.Request, error) {
+	return http.NewRequestWithContext(ctx, http.MethodGet, url, nil) // ok
+}
+
+// escapeHatch shows the suppression path for the rare legitimate
+// context-free request (e.g. a fire-and-forget startup probe).
+func escapeHatch(url string) (*http.Request, error) {
+	//lint:allow ctxhttp startup probe predates any request context
+	return http.NewRequest(http.MethodGet, url, nil)
+}

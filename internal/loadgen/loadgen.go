@@ -19,6 +19,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"nsdfgo/internal/telemetry/trace"
 )
 
 // Dataset describes one load-target dataset, as discovered from the
@@ -104,6 +106,11 @@ type Options struct {
 	// Client overrides the HTTP client (its Timeout is ignored; Timeout
 	// above governs).
 	Client *http.Client
+	// SlowestN is how many of the run's slowest requests the report
+	// keeps, each with its server-assigned trace ID — the handle a
+	// student pastes into /debug/traces?federate=1 to see where a tail
+	// request's time went. Default 5; negative disables.
+	SlowestN int
 }
 
 // Sample is one request's outcome.
@@ -112,6 +119,11 @@ type Sample struct {
 	Status  int // 0 on transport error
 	Latency time.Duration
 	Bytes   int64
+	// URL is the request that produced this sample.
+	URL string
+	// TraceID is the server-assigned trace ID (the X-NSDF-Trace-Id
+	// response header), empty on transport error or untraced servers.
+	TraceID string
 }
 
 // PhaseReport aggregates one phase (or the whole run, for Total).
@@ -134,11 +146,25 @@ type PhaseReport struct {
 	Bytes    int64   `json:"bytes"`
 }
 
+// SlowRequest is one of the run's slowest requests, with the trace ID
+// to chase it across the cluster.
+type SlowRequest struct {
+	URL       string  `json:"url"`
+	Phase     string  `json:"phase"`
+	Status    int     `json:"status"`
+	LatencyMs float64 `json:"latency_ms"`
+	TraceID   string  `json:"trace_id,omitempty"`
+}
+
 // Report is a full run's outcome.
 type Report struct {
 	Target  string        `json:"target"`
 	Phases  []PhaseReport `json:"phases"`
 	Total   PhaseReport   `json:"total"`
+	// Slowest lists the run's N highest-latency requests (Options.
+	// SlowestN), slowest first, each with its trace ID when the server
+	// supplied one.
+	Slowest []SlowRequest `json:"slowest_requests,omitempty"`
 	Samples []Sample      `json:"-"` // raw captures, for custom analysis
 }
 
@@ -426,7 +452,7 @@ func runStream(ctx context.Context, opts Options, st stream, col *collector) {
 func doRequest(ctx context.Context, opts Options, rq request) (Sample, bool) {
 	rctx, cancel := context.WithTimeout(ctx, opts.Timeout)
 	defer cancel()
-	s := Sample{Phase: rq.phase}
+	s := Sample{Phase: rq.phase, URL: rq.url}
 	req, err := http.NewRequestWithContext(rctx, http.MethodGet, rq.url, nil)
 	if err != nil {
 		return s, false
@@ -445,6 +471,7 @@ func doRequest(ctx context.Context, opts Options, rq request) (Sample, bool) {
 	s.Latency = time.Since(start)
 	s.Status = resp.StatusCode
 	s.Bytes = n
+	s.TraceID = resp.Header.Get(trace.TraceIDHeader)
 	return s, s.Status == http.StatusOK
 }
 
@@ -481,7 +508,41 @@ func buildReport(opts Options, col *collector, phaseSecs map[string]float64) *Re
 	for _, n := range dropped {
 		rep.Total.Dropped += n
 	}
+	rep.Slowest = slowest(samples, opts.SlowestN)
 	return rep
+}
+
+// slowest picks the n highest-latency answered samples, slowest first.
+// Transport failures carry no server latency or trace ID, so they are
+// excluded — a failed request is a Failed count, not a tail sample.
+func slowest(samples []Sample, n int) []SlowRequest {
+	if n == 0 {
+		n = 5
+	}
+	if n < 0 {
+		return nil
+	}
+	answered := make([]Sample, 0, len(samples))
+	for _, s := range samples {
+		if s.Status != 0 {
+			answered = append(answered, s)
+		}
+	}
+	sort.Slice(answered, func(i, j int) bool { return answered[i].Latency > answered[j].Latency })
+	if len(answered) > n {
+		answered = answered[:n]
+	}
+	out := make([]SlowRequest, 0, len(answered))
+	for _, s := range answered {
+		out = append(out, SlowRequest{
+			URL:       s.URL,
+			Phase:     s.Phase,
+			Status:    s.Status,
+			LatencyMs: float64(s.Latency) / float64(time.Millisecond),
+			TraceID:   s.TraceID,
+		})
+	}
+	return out
 }
 
 // aggregate folds samples into one PhaseReport.

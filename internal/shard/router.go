@@ -6,10 +6,13 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"nsdfgo/internal/storage"
 	"nsdfgo/internal/telemetry"
+	"nsdfgo/internal/telemetry/flight"
+	"nsdfgo/internal/telemetry/trace"
 )
 
 // Node pairs a fleet-wide stable name with the store serving that
@@ -60,6 +63,10 @@ type Router struct {
 	failovers   *telemetry.Counter
 	nodeUp      map[string]*telemetry.Gauge
 	nodeGets    map[string]*telemetry.Counter
+
+	// fl receives hedge_fired and replica_failover flight events; nil
+	// disables (SetFlight).
+	fl atomic.Pointer[flight.Recorder]
 }
 
 // NewRouter builds a router over the given nodes. At least one node is
@@ -120,6 +127,16 @@ func (r *Router) Instrument(reg *telemetry.Registry) {
 	}
 }
 
+// SetFlight wires the flight recorder that receives the router's
+// anomaly events: every hedge fired and every replica failover, each
+// stamped with the active trace ID. Safe to call concurrently with
+// operations.
+func (r *Router) SetFlight(fl *flight.Recorder) {
+	if fl != nil {
+		r.fl.Store(fl)
+	}
+}
+
 // inc bumps a nil-safe counter.
 func inc(c *telemetry.Counter) {
 	if c != nil {
@@ -162,6 +179,12 @@ type getResult struct {
 // others — a partially-written key must be served from whichever
 // replica has it — and only becomes the result once every replica has
 // missed.
+//
+// Under an active trace every replica attempt books a shard.get span
+// annotated with its node, whether it was a hedge, and its outcome —
+// hedge losers are tagged outcome=cancelled rather than dropped, so a
+// trace shows which node the winning bytes came from and what the
+// hedge cost.
 func (r *Router) Get(ctx context.Context, key string) ([]byte, error) {
 	replicas := r.ring.Replicas(key, r.replicas)
 	if len(replicas) == 0 {
@@ -175,8 +198,43 @@ func (r *Router) Get(ctx context.Context, key string) ([]byte, error) {
 	// return, so none of the launched goroutines can leak.
 	results := make(chan getResult, len(replicas))
 	hedged := make([]bool, len(replicas))
+	launchedAt := make([]time.Time, len(replicas))
+	settled := make([]bool, len(replicas))
+	traced := trace.Active(ctx)
+	// span books one replica attempt into the trace. All spans are
+	// recorded from this goroutine — losers included, when the winner
+	// settles — because a loser's own goroutine can outlive the root
+	// span and lose the record.
+	span := func(i int, outcome string, end time.Time) {
+		settled[i] = true
+		if !traced {
+			return
+		}
+		hedge := "false"
+		if hedged[i] {
+			hedge = "true"
+		}
+		trace.Record(ctx, "shard.get", launchedAt[i], end,
+			trace.Str("node", replicas[i]),
+			trace.Str("hedge", hedge),
+			trace.Str("outcome", outcome))
+	}
+	// settleLosers tags every launched-but-unsettled replica cancelled:
+	// returning cancels gctx, which aborts their in-flight requests.
+	settleLosers := func() {
+		if !traced {
+			return
+		}
+		end := time.Now()
+		for i := range settled {
+			if !launchedAt[i].IsZero() && !settled[i] {
+				span(i, "cancelled", end)
+			}
+		}
+	}
 	launch := func(i int, isHedge bool) {
 		hedged[i] = isHedge
+		launchedAt[i] = time.Now()
 		st := r.stores[replicas[i]]
 		if c, ok := r.nodeGets[replicas[i]]; ok {
 			c.Inc()
@@ -207,22 +265,32 @@ func (r *Router) Get(ctx context.Context, key string) ([]byte, error) {
 				if hedged[res.launch] {
 					inc(r.hedgesWon)
 				}
+				span(res.launch, "ok", time.Now())
+				settleLosers()
 				return res.data, nil
 			}
 			if err := ctx.Err(); err != nil {
+				span(res.launch, "cancelled", time.Now())
+				settleLosers()
 				return nil, err
 			}
 			if nodeFailure(res.err) {
+				span(res.launch, "error", time.Now())
 				r.markNode(name, false)
 				if firstErr == nil {
 					firstErr = res.err
 				}
 				if next < len(replicas) {
 					inc(r.failovers)
+					r.fl.Load().Record(flight.KindFailover, trace.ID(ctx),
+						"get key=%s node=%s -> %s err=%v", key, name, replicas[next], res.err)
 				}
 			} else if errors.Is(res.err, storage.ErrNotExist) {
+				span(res.launch, "miss", time.Now())
 				r.markNode(name, true)
 				miss = res.err
+			} else {
+				span(res.launch, "cancelled", time.Now())
 			}
 			if next < len(replicas) {
 				launch(next, false)
@@ -233,11 +301,14 @@ func (r *Router) Get(ctx context.Context, key string) ([]byte, error) {
 			hedgeC = nil
 			if next < len(replicas) {
 				inc(r.hedgesFired)
+				r.fl.Load().Record(flight.KindHedgeFired, trace.ID(ctx),
+					"get key=%s replica=%s after=%s", key, replicas[next], r.hedgeAfter)
 				launch(next, true)
 				next++
 				outstanding++
 			}
 		case <-ctx.Done():
+			settleLosers()
 			return nil, ctx.Err()
 		}
 	}
@@ -269,10 +340,11 @@ func (r *Router) fanOut(ctx context.Context, names []string, op func(ctx context
 
 // writeQuorum folds a replicated write's per-node errors into the
 // degraded-mode contract: success if any replica took the write (each
-// lost replica books a failover and marks the node down), the combined
-// error only when every replica failed.
-func (r *Router) writeQuorum(what string, key string, names []string, errs []error) error {
+// lost replica books a failover — counted, flight-recorded — and marks
+// the node down), the combined error only when every replica failed.
+func (r *Router) writeQuorum(ctx context.Context, what string, key string, names []string, errs []error) error {
 	var firstErr error
+	var lost []int
 	ok := 0
 	for i, err := range errs {
 		if err == nil {
@@ -286,12 +358,15 @@ func (r *Router) writeQuorum(what string, key string, names []string, errs []err
 		if firstErr == nil {
 			firstErr = err
 		}
+		lost = append(lost, i)
 	}
 	if ok == 0 {
 		return fmt.Errorf("shard: %s %q failed on all %d replicas: %w", what, key, len(names), firstErr)
 	}
-	for i := 0; i < len(names)-ok; i++ {
+	for _, i := range lost {
 		inc(r.failovers)
+		r.fl.Load().Record(flight.KindFailover, trace.ID(ctx),
+			"%s key=%s node=%s degraded err=%v", what, key, names[i], errs[i])
 	}
 	return nil
 }
@@ -308,7 +383,7 @@ func (r *Router) Put(ctx context.Context, key string, data []byte) error {
 	errs := r.fanOut(ctx, names, func(ctx context.Context, st storage.Store) error {
 		return st.Put(ctx, key, data)
 	})
-	return r.writeQuorum("put", key, names, errs)
+	return r.writeQuorum(ctx, "put", key, names, errs)
 }
 
 // Delete implements storage.Store, removing the key from all replicas.
@@ -321,7 +396,7 @@ func (r *Router) Delete(ctx context.Context, key string) error {
 	errs := r.fanOut(ctx, names, func(ctx context.Context, st storage.Store) error {
 		return st.Delete(ctx, key)
 	})
-	return r.writeQuorum("delete", key, names, errs)
+	return r.writeQuorum(ctx, "delete", key, names, errs)
 }
 
 // Stat implements storage.Store by trying the key's replicas in ring
@@ -445,4 +520,27 @@ func ParsePeers(spec string, dial func(target string) storage.Store) ([]Node, er
 		nodes = append(nodes, Node{Name: name, Store: dial(target)})
 	}
 	return nodes, nil
+}
+
+// PeerTargets parses the same name=target spec as ParsePeers into a
+// name -> base-URL map, without dialing anything — the form federated
+// trace assembly wants, since it talks to peers' debug endpoints
+// rather than their object planes.
+func PeerTargets(spec string) (map[string]string, error) {
+	targets := make(map[string]string)
+	if strings.TrimSpace(spec) == "" {
+		return targets, nil
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, target, ok := strings.Cut(entry, "=")
+		if !ok || name == "" || target == "" {
+			return nil, fmt.Errorf("shard: bad peer %q (want name=target)", entry)
+		}
+		targets[name] = target
+	}
+	return targets, nil
 }

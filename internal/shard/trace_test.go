@@ -1,0 +1,167 @@
+package shard_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"nsdfgo/internal/shard"
+	"nsdfgo/internal/storage"
+	"nsdfgo/internal/telemetry/flight"
+	"nsdfgo/internal/telemetry/trace"
+)
+
+// tracedGet runs one router Get under a fresh trace and returns the
+// completed trace's shard.get spans.
+func tracedGet(t *testing.T, r *shard.Router, key string) []trace.SpanData {
+	t.Helper()
+	col := trace.NewCollector(4)
+	root := col.StartTrace("", "test.get")
+	ctx := trace.NewContext(context.Background(), root)
+	if _, err := r.Get(ctx, key); err != nil {
+		t.Fatalf("Get(%s): %v", key, err)
+	}
+	root.End()
+	data := col.Find(root.TraceID())
+	if data == nil {
+		t.Fatal("trace not retained")
+	}
+	var spans []trace.SpanData
+	for _, sp := range data.Spans {
+		if sp.Name == "shard.get" {
+			spans = append(spans, sp)
+		}
+	}
+	return spans
+}
+
+func TestGetRecordsReplicaSpans(t *testing.T) {
+	r, _, _ := newTestCluster(t, 3, shard.Options{Replicas: 2})
+	ctx := context.Background()
+	if err := r.Put(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	spans := tracedGet(t, r, "k")
+	if len(spans) != 1 {
+		t.Fatalf("got %d shard.get spans, want 1 (no hedge, no failover)", len(spans))
+	}
+	sp := spans[0]
+	if sp.Attrs["outcome"] != "ok" || sp.Attrs["hedge"] != "false" {
+		t.Fatalf("span attrs %v, want outcome=ok hedge=false", sp.Attrs)
+	}
+	if sp.Attrs["node"] == "" {
+		t.Fatal("span has no node attr")
+	}
+}
+
+// TestHedgeLoserSpanCancelled is the tentpole's hedging guarantee: when
+// a hedge wins, the loser's attempt is booked as a cancelled span
+// rather than silently dropped, so a trace shows what the hedge cost.
+func TestHedgeLoserSpanCancelled(t *testing.T) {
+	// Two nodes, R=2: whichever replica the ring ranks first is made
+	// slow, so the hedge to the second replica always wins.
+	stores := map[string]*slowStore{
+		"a": {Store: storage.NewMemStore()},
+		"b": {Store: storage.NewMemStore()},
+	}
+	ctx := context.Background()
+	for _, s := range stores {
+		if err := s.Store.Put(ctx, "k", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := shard.NewRouter([]shard.Node{
+		{Name: "a", Store: stores["a"]},
+		{Name: "b", Store: stores["b"]},
+	}, shard.Options{Replicas: 2, HedgeAfter: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary := r.Ring().Replicas("k", 2)[0]
+	stores[primary].delay = 300 * time.Millisecond
+	fl := flight.New(8)
+	r.SetFlight(fl)
+
+	spans := tracedGet(t, r, "k")
+	if len(spans) != 2 {
+		t.Fatalf("got %d shard.get spans, want 2 (winner + loser)", len(spans))
+	}
+	byOutcome := map[string]trace.SpanData{}
+	for _, sp := range spans {
+		byOutcome[sp.Attrs["outcome"]] = sp
+	}
+	winner, ok := byOutcome["ok"]
+	if !ok {
+		t.Fatalf("no ok span; outcomes %v", byOutcome)
+	}
+	if winner.Attrs["hedge"] != "true" {
+		t.Fatalf("winner hedge attr %q, want true (the hedge won)", winner.Attrs["hedge"])
+	}
+	loser, ok := byOutcome["cancelled"]
+	if !ok {
+		t.Fatalf("hedge loser not recorded as cancelled; outcomes %v", byOutcome)
+	}
+	if loser.Attrs["hedge"] != "false" {
+		t.Fatalf("loser hedge attr %q, want false (it was the primary)", loser.Attrs["hedge"])
+	}
+
+	// The hedge fire landed in the flight recorder with the trace ID.
+	events := fl.Snapshot()
+	if len(events) != 1 || events[0].Kind != flight.KindHedgeFired {
+		t.Fatalf("flight events = %+v, want one hedge_fired", events)
+	}
+	if events[0].TraceID == "" {
+		t.Fatal("hedge event has no trace ID")
+	}
+}
+
+func TestFailoverSpanAndFlightEvent(t *testing.T) {
+	r, flips, _ := newTestCluster(t, 3, shard.Options{Replicas: 2})
+	ctx := context.Background()
+	if err := r.Put(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Down the key's first replica: the read must fail over and book an
+	// error span for the lost node plus a failover flight event.
+	replicas := r.Ring().Replicas("k", 2)
+	for i, f := range flips {
+		if nodeName(i) == replicas[0] {
+			f.down.Store(true)
+		}
+	}
+	fl := flight.New(8)
+	r.SetFlight(fl)
+
+	spans := tracedGet(t, r, "k")
+	if len(spans) != 2 {
+		t.Fatalf("got %d shard.get spans, want 2 (error + ok)", len(spans))
+	}
+	outcomes := map[string]bool{}
+	for _, sp := range spans {
+		outcomes[sp.Attrs["outcome"]] = true
+	}
+	if !outcomes["error"] || !outcomes["ok"] {
+		t.Fatalf("outcomes %v, want error and ok", outcomes)
+	}
+	events := fl.Snapshot()
+	if len(events) != 1 || events[0].Kind != flight.KindFailover {
+		t.Fatalf("flight events = %+v, want one replica_failover", events)
+	}
+}
+
+// TestUntracedGetRecordsNothing: without an active trace the span
+// bookkeeping must stay out of the way (no panic, no spans).
+func TestUntracedGetRecordsNothing(t *testing.T) {
+	r, _, _ := newTestCluster(t, 2, shard.Options{Replicas: 2})
+	ctx := context.Background()
+	if err := r.Put(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func nodeName(i int) string {
+	return []string{"n0", "n1", "n2", "n3", "n4", "n5"}[i]
+}

@@ -11,6 +11,9 @@ import (
 	"net/url"
 	"strings"
 	"time"
+
+	"nsdfgo/internal/telemetry"
+	"nsdfgo/internal/telemetry/trace"
 )
 
 // Server exposes a Store over HTTP with an S3-flavoured REST layout:
@@ -49,7 +52,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	switch {
 	case r.URL.Path == "/healthz":
-		fmt.Fprintln(w, "ok")
+		telemetry.WriteHealth(w, "store")
 	case r.URL.Path == "/list":
 		s.handleList(w, r)
 	case strings.HasPrefix(r.URL.Path, "/obj/"):
@@ -160,6 +163,11 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (*htt
 	if c.token != "" {
 		req.Header.Set("Authorization", "Bearer "+c.token)
 	}
+	// Propagate the active trace across the peer hop — every request,
+	// including replication writes and hedged duplicates, so one user
+	// request keeps one trace ID across the whole fleet and the remote
+	// server can graft its spans under the calling span.
+	trace.Inject(ctx, req.Header)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("storage: %s %s: %w", method, path, err)

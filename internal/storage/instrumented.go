@@ -69,14 +69,17 @@ func NewInstrumented(inner Store, reg *telemetry.Registry, backend string) *Inst
 // not count as an error.
 func (in *Instrumented) record(ctx context.Context, op string, start time.Time, err error) {
 	in.ops[op].Inc()
-	in.lat.ObserveSince(start)
 	if err != nil && !errors.Is(err, ErrNotExist) {
 		in.errs[op].Inc()
 	}
 	if trace.Active(ctx) {
-		trace.Record(ctx, instrumentedSpanNames[op], start, time.Now(),
+		end := time.Now()
+		in.lat.ObserveExemplar(end.Sub(start).Seconds(), trace.ID(ctx))
+		trace.Record(ctx, instrumentedSpanNames[op], start, end,
 			trace.Str("backend", in.backend))
+		return
 	}
+	in.lat.ObserveSince(start)
 }
 
 // Put implements Store.

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"nsdfgo/internal/telemetry"
+	"nsdfgo/internal/telemetry/flight"
 	"nsdfgo/internal/telemetry/trace"
 )
 
@@ -122,6 +123,10 @@ type Retry struct {
 	retries atomic.Int64
 	counter atomic.Pointer[telemetry.Counter]
 
+	// fl receives a retry_exhausted flight event when an operation fails
+	// through its whole attempt budget; nil disables (SetFlight).
+	fl atomic.Pointer[flight.Recorder]
+
 	// rngMu guards rng, the injected jitter source (math/rand.Rand is
 	// not concurrency-safe). nil rng uses the global locked source.
 	rngMu sync.Mutex
@@ -151,6 +156,14 @@ func (r *Retry) Retries() int64 { return r.retries.Load() }
 // nsdf_storage_retries_total{backend}.
 func (r *Retry) InstrumentRetries(reg *telemetry.Registry, backend string) {
 	r.counter.Store(reg.Counter("nsdf_storage_retries_total", "backend", backend))
+}
+
+// SetFlight wires the flight recorder that receives retry_exhausted
+// events. Safe to call concurrently with operations.
+func (r *Retry) SetFlight(fl *flight.Recorder) {
+	if fl != nil {
+		r.fl.Store(fl)
+	}
 }
 
 // backoffDelay draws the sleep before retry attempt (attempt >= 1):
@@ -228,6 +241,8 @@ func (r *Retry) do(ctx context.Context, op string, fn func() error) error {
 			return err
 		}
 	}
+	r.fl.Load().Record(flight.KindRetryExhausted, trace.ID(ctx),
+		"op=%s attempts=%d err=%v", op, r.Attempts, err)
 	return fmt.Errorf("storage: giving up after %d attempts: %w", r.Attempts, err)
 }
 

@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// processStart anchors the uptime every /healthz body and the
+// nsdf_process_uptime_seconds gauge report. Package-init time is close
+// enough to exec time for operational purposes.
+var processStart = time.Now()
+
+// RegisterBuildInfo registers the build-identity series every server
+// exposes:
+//
+//	nsdf_build_info{go_version,os,arch[,version]}  constant 1
+//	nsdf_process_uptime_seconds                    seconds since start
+//
+// The constant-1 gauge is the Prometheus convention for joining build
+// labels onto other series; uptime is sampled lazily per scrape.
+func RegisterBuildInfo(reg *Registry) {
+	one := func() float64 { return 1 }
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		reg.GaugeFunc("nsdf_build_info", one,
+			"go_version", runtime.Version(), "os", runtime.GOOS, "arch", runtime.GOARCH,
+			"version", bi.Main.Version)
+	} else {
+		reg.GaugeFunc("nsdf_build_info", one,
+			"go_version", runtime.Version(), "os", runtime.GOOS, "arch", runtime.GOARCH)
+	}
+	reg.GaugeFunc("nsdf_process_uptime_seconds", func() float64 {
+		return time.Since(processStart).Seconds()
+	})
+}
+
+// Health is the JSON body every server's /healthz answers with.
+type Health struct {
+	// Status is "ok" on a live server (a failing server does not answer).
+	Status string `json:"status"`
+	// Service names the answering server ("dashboard", "store", ...).
+	Service string `json:"service"`
+	// GoVersion is the toolchain the binary was built with.
+	GoVersion string `json:"go_version"`
+	// Start is when the process came up.
+	Start time.Time `json:"start"`
+	// UptimeSeconds is seconds since Start.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// WriteHealth answers a /healthz probe with the standard JSON body.
+func WriteHealth(w http.ResponseWriter, service string) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(Health{
+		Status:        "ok",
+		Service:       service,
+		GoVersion:     runtime.Version(),
+		Start:         processStart,
+		UptimeSeconds: time.Since(processStart).Seconds(),
+	})
+}

@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegisterBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBuildInfo(reg)
+	var sb strings.Builder
+	if err := reg.WriteExposition(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	var info string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "nsdf_build_info{") {
+			info = line
+		}
+	}
+	if info == "" {
+		t.Fatalf("nsdf_build_info missing:\n%s", out)
+	}
+	if !strings.Contains(info, `go_version="`+runtime.Version()+`"`) || !strings.Contains(info, `os="`+runtime.GOOS+`"`) {
+		t.Fatalf("nsdf_build_info unlabelled: %s", info)
+	}
+	if !strings.HasSuffix(info, "} 1") {
+		t.Fatalf("nsdf_build_info is not a constant-1 gauge: %s", info)
+	}
+	if !strings.Contains(out, "nsdf_process_uptime_seconds") {
+		t.Fatalf("nsdf_process_uptime_seconds missing:\n%s", out)
+	}
+}
+
+func TestWriteHealth(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteHealth(rec, "dashboard")
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var h Health
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Service != "dashboard" || h.GoVersion != runtime.Version() {
+		t.Fatalf("health = %+v", h)
+	}
+	if h.Start.IsZero() || h.UptimeSeconds < 0 || time.Since(h.Start) < 0 {
+		t.Fatalf("health timing fields = %+v", h)
+	}
+}

@@ -95,11 +95,50 @@ func writeSeries(w io.Writer, name string, s *series, kind Kind) error {
 	return nil
 }
 
+// WriteExemplars renders the exemplar view: one line per histogram
+// bucket that has one, in the shape
+//
+//	nsdf_http_request_seconds{service="store",le="0.25"} 0.21 # trace=<id>
+//
+// so a suspicious bucket on /metrics links straight to a trace ID a
+// student can paste into /debug/traces?federate=1 on the dashboard.
+func (r *Registry) WriteExemplars(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range r.names {
+		f := r.families[name]
+		if f.kind != KindHistogram {
+			continue
+		}
+		for _, sig := range f.order {
+			s := f.series[sig]
+			if s.h == nil {
+				continue
+			}
+			for _, be := range s.h.Exemplars() {
+				_, err := fmt.Fprintf(w, "%s%s %s # trace=%s\n",
+					name, withLabel(s.labels, "le", be.LE),
+					formatValue(be.Exemplar.Value), be.Exemplar.TraceID)
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // Handler returns an http.Handler serving the text exposition — mount it
-// at /metrics.
+// at /metrics. With ?format=exemplars it serves the exemplar view
+// (WriteExemplars) instead: per-bucket trace IDs linking latency
+// outliers to /debug/traces.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if req.URL.Query().Get("format") == "exemplars" {
+			r.WriteExemplars(w)
+			return
+		}
 		r.WriteExposition(w)
 	})
 }
@@ -189,9 +228,16 @@ func statusClass(code int) string {
 // Observe records one completed request. route should be a bounded set
 // of normalised route names, not raw URLs.
 func (m *HTTPMetrics) Observe(route string, code int, elapsed time.Duration) {
+	m.ObserveTraced(route, code, elapsed, "")
+}
+
+// ObserveTraced is Observe plus an exemplar: when traceID is non-empty
+// the latency bucket the request lands in keeps it as its most recent
+// exemplar (see Registry.WriteExemplars).
+func (m *HTTPMetrics) ObserveTraced(route string, code int, elapsed time.Duration, traceID string) {
 	m.reg.Counter("nsdf_http_requests_total",
 		"service", m.service, "route", route, "class", statusClass(code)).Inc()
-	m.lat.Observe(elapsed.Seconds())
+	m.lat.ObserveExemplar(elapsed.Seconds(), traceID)
 }
 
 // Wrap times handler and records it under route.

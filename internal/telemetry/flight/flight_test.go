@@ -1,0 +1,156 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecordAndSnapshot(t *testing.T) {
+	r := New(8)
+	r.SetNode("store-a")
+	base := time.Unix(1700000000, 0)
+	r.SetClock(func() time.Time { return base })
+
+	r.Record(KindHedgeFired, "aaaa", "get key=%s after=%s", "blocks/1", 30*time.Millisecond)
+	r.Record(KindShed, "", "plain detail without args")
+
+	events := r.Snapshot()
+	if len(events) != 2 {
+		t.Fatalf("snapshot has %d events, want 2", len(events))
+	}
+	ev := events[0]
+	if ev.Seq != 1 || ev.Kind != KindHedgeFired || ev.Node != "store-a" || ev.TraceID != "aaaa" {
+		t.Fatalf("first event = %+v", ev)
+	}
+	if ev.Detail != "get key=blocks/1 after=30ms" {
+		t.Fatalf("detail %q", ev.Detail)
+	}
+	if !ev.Time.Equal(base) {
+		t.Fatalf("time %v, want %v", ev.Time, base)
+	}
+	if events[1].Detail != "plain detail without args" {
+		t.Fatalf("no-args detail %q", events[1].Detail)
+	}
+	if r.Total() != 2 {
+		t.Fatalf("total %d, want 2", r.Total())
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10; i++ {
+		r.Record(KindSlowRequest, "", "event %d", i)
+	}
+	events := r.Snapshot()
+	if len(events) != 4 {
+		t.Fatalf("snapshot has %d events, want capacity 4", len(events))
+	}
+	// The survivors are the most recent four, in order.
+	for i, ev := range events {
+		want := fmt.Sprintf("event %d", 6+i)
+		if ev.Detail != want {
+			t.Errorf("event[%d] = %q, want %q", i, ev.Detail, want)
+		}
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total %d, want 10", r.Total())
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(KindShed, "id", "detail") // must not panic
+	r.SetNode("x")
+	r.Dump(nil)
+	if r.Snapshot() != nil || r.Total() != 0 || r.Capacity() != 0 {
+		t.Fatal("nil recorder must report empty state")
+	}
+}
+
+func TestHandlerFiltersAndFormats(t *testing.T) {
+	r := New(16)
+	r.SetNode("store-b")
+	r.Record(KindShed, "t1", "shed one")
+	r.Record(KindHedgeFired, "t2", "hedge one")
+	r.Record(KindShed, "t3", "shed two")
+
+	get := func(query string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flightrecorder"+query, nil))
+		return rec
+	}
+
+	// Text view carries the header and every event.
+	body := get("").Body.String()
+	if !strings.Contains(body, "flightrecorder  events=3 recorded=3 capacity=16") {
+		t.Fatalf("text header missing:\n%s", body)
+	}
+	for _, want := range []string{"shed one", "hedge one", "shed two", "node=store-b", "trace=t2"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("text output missing %q:\n%s", want, body)
+		}
+	}
+
+	// kind= filter.
+	var events []Event
+	if err := json.Unmarshal(get("?format=json&kind=shed").Body.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0].Detail != "shed one" || events[1].Detail != "shed two" {
+		t.Fatalf("kind=shed events = %+v", events)
+	}
+
+	// trace= filter.
+	if err := json.Unmarshal(get("?format=json&trace=t2").Body.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Kind != KindHedgeFired {
+		t.Fatalf("trace=t2 events = %+v", events)
+	}
+}
+
+// TestConcurrentRecord exercises the wait-free ring from many
+// goroutines — run under -race this is the recorder's memory-safety
+// proof. Every snapshot taken mid-flight must be internally consistent
+// (monotonic seqs, no torn events).
+func TestConcurrentRecord(t *testing.T) {
+	r := New(32)
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Record(KindFailover, "trace", "w%d-%d", w, i)
+				if i%100 == 0 {
+					for _, ev := range r.Snapshot() {
+						if ev.Detail == "" || ev.Seq == 0 {
+							t.Errorf("torn event: %+v", ev)
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Total(); got != workers*perWorker {
+		t.Fatalf("total %d, want %d", got, workers*perWorker)
+	}
+	events := r.Snapshot()
+	if len(events) != 32 {
+		t.Fatalf("final snapshot has %d events, want 32", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("snapshot seqs not monotonic: %d then %d", events[i-1].Seq, events[i].Seq)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"math"
 	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -83,11 +84,24 @@ var DefBuckets = []float64{
 
 // Histogram is a fixed-bucket latency histogram. Observations are in
 // seconds; buckets are cumulative at exposition time, Prometheus-style.
+// Each bucket additionally retains the most recent exemplar — the trace
+// ID of the last observation that landed in it (ObserveExemplar) — so a
+// suspicious latency bucket links directly to a fetchable trace.
 type Histogram struct {
 	bounds []float64 // sorted upper bounds; an implicit +Inf bucket follows
 	counts []atomic.Int64
+	ex     []atomic.Pointer[Exemplar] // most recent exemplar per bucket
 	count  atomic.Int64
 	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Exemplar links one observed value to the request trace that produced
+// it.
+type Exemplar struct {
+	// Value is the observed value (seconds, for latency histograms).
+	Value float64 `json:"value"`
+	// TraceID names the trace active when the value was observed.
+	TraceID string `json:"trace_id"`
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -96,7 +110,11 @@ func newHistogram(bounds []float64) *Histogram {
 	}
 	b := append([]float64(nil), bounds...)
 	sort.Float64s(b)
-	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	return &Histogram{
+		bounds: b,
+		counts: make([]atomic.Int64, len(b)+1),
+		ex:     make([]atomic.Pointer[Exemplar], len(b)+1),
+	}
 }
 
 // Observe records one value (seconds, for latency histograms).
@@ -118,6 +136,47 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveSince records the elapsed time since start.
 func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start).Seconds()) }
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// swaps it in as the containing bucket's exemplar. The swap is a single
+// lock-free atomic pointer store (last writer wins), so the hot path
+// pays one extra allocation and one store over Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.ex[i].Store(&Exemplar{Value: v, TraceID: traceID})
+}
+
+// BucketExemplar pairs a bucket's rendered upper bound with its most
+// recent exemplar.
+type BucketExemplar struct {
+	// LE is the bucket's upper bound rendered Prometheus-style
+	// ("0.025", "+Inf").
+	LE string `json:"le"`
+	// Exemplar is the bucket's most recent exemplar.
+	Exemplar Exemplar `json:"exemplar"`
+}
+
+// Exemplars snapshots the buckets that have an exemplar, in bound
+// order.
+func (h *Histogram) Exemplars() []BucketExemplar {
+	var out []BucketExemplar
+	for i := range h.ex {
+		e := h.ex[i].Load()
+		if e == nil {
+			continue
+		}
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
+		}
+		out = append(out, BucketExemplar{LE: le, Exemplar: *e})
+	}
+	return out
+}
 
 // Snapshot is a consistent-enough view of a histogram for reporting:
 // counts are read atomically per bucket, so a snapshot taken under

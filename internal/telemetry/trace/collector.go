@@ -25,6 +25,7 @@ type Collector struct {
 	buf   []*TraceData
 	added uint64
 	now   func() time.Time
+	node  string
 }
 
 // NewCollector returns a collector retaining up to capacity traces
@@ -52,6 +53,23 @@ func (c *Collector) clock() func() time.Time {
 	return c.now
 }
 
+// SetNode names the process this collector runs in (e.g. the store's
+// -node-name). Subsequent traces carry it in TraceData.Node and as a
+// "node" attribute on their root spans, so spans pulled from several
+// collectors stay attributable after federated assembly.
+func (c *Collector) SetNode(name string) {
+	c.mu.Lock()
+	c.node = name
+	c.mu.Unlock()
+}
+
+// Node returns the collector's configured node name.
+func (c *Collector) Node() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.node
+}
+
 // StartTrace begins a new trace with the given ID (minting a fresh one
 // when id is empty or malformed) and returns its root span. Ending the
 // root span publishes the completed trace into the ring. The name is the
@@ -61,9 +79,12 @@ func (c *Collector) StartTrace(id, name string, attrs ...Attr) *Span {
 	if !ValidID(id) {
 		id = NewID()
 	}
-	tr := &Trace{id: id, col: c, now: c.clock()}
+	tr := &Trace{id: id, col: c, now: c.clock(), node: c.Node()}
 	tr.start = tr.now()
 	tr.lastSpan = 1
+	if tr.node != "" {
+		attrs = append(attrs, Str("node", tr.node))
+	}
 	return &Span{tr: tr, name: name, id: "1", start: tr.start, root: true, attrs: attrs}
 }
 
@@ -135,7 +156,7 @@ func Filter(traces []*TraceData, minDur time.Duration, dataset string) []*TraceD
 // Query parameters:
 //
 //	format=json|text  response encoding (default text)
-//	trace=<id>        exact trace lookup
+//	trace=<id>        exact trace lookup (id= is an accepted alias)
 //	min=<duration>    keep traces at least this long (e.g. min=250ms)
 //	dataset=<name>    keep traces touching this dataset
 //	limit=<n>         at most n traces, newest first (default 50)
@@ -143,7 +164,11 @@ func (c *Collector) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query()
 		var traces []*TraceData
-		if id := q.Get("trace"); id != "" {
+		id := q.Get("trace")
+		if id == "" {
+			id = q.Get("id")
+		}
+		if id != "" {
 			if t := c.Find(id); t != nil {
 				traces = []*TraceData{t}
 			}
@@ -189,19 +214,34 @@ func (c *Collector) Handler() http.Handler {
 }
 
 // WriteText renders one trace human-readably: a header line followed by
-// the span tree, children indented under parents in start order.
+// the span tree, children indented under parents in start order. Spans
+// whose parent is not in the snapshot (a federated merge with a gap, or
+// a caller whose span was dropped at the per-trace cap) render as extra
+// roots rather than disappearing.
 func WriteText(w io.Writer, t *TraceData) {
-	fmt.Fprintf(w, "trace %s  start=%s  duration=%s  spans=%d",
-		t.TraceID, t.Start.Format(time.RFC3339Nano), t.Duration, len(t.Spans))
+	fmt.Fprintf(w, "trace %s ", t.TraceID)
+	if t.Node != "" {
+		fmt.Fprintf(w, " node=%s", t.Node)
+	}
+	fmt.Fprintf(w, " start=%s  duration=%s  spans=%d",
+		t.Start.Format(time.RFC3339Nano), t.Duration, len(t.Spans))
 	if t.DroppedSpans > 0 {
 		fmt.Fprintf(w, "  dropped=%d", t.DroppedSpans)
 	}
 	fmt.Fprintln(w)
 
+	known := make(map[string]bool, len(t.Spans))
+	for i := range t.Spans {
+		known[t.Spans[i].ID] = true
+	}
 	children := make(map[string][]*SpanData, len(t.Spans))
 	for i := range t.Spans {
 		sp := &t.Spans[i]
-		children[sp.Parent] = append(children[sp.Parent], sp)
+		parent := sp.Parent
+		if parent != "" && (!known[parent] || parent == sp.ID) {
+			parent = "" // orphan: surface it as a root
+		}
+		children[parent] = append(children[parent], sp)
 	}
 	for _, kids := range children {
 		sort.Slice(kids, func(i, j int) bool { return kids[i].Start.Before(kids[j].Start) })

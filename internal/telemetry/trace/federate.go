@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"sort"
+	"strconv"
+	"time"
+)
+
+// NodeTrace pairs a node name with the trace snapshot that node
+// reported for one trace ID. Node is the name the fetcher dialled the
+// peer under; when the snapshot itself carries a Node (the peer's
+// collector was named), the snapshot's name wins, so a mislabelled
+// peer map cannot detach the remote spans from their remote_parent
+// references.
+type NodeTrace struct {
+	Node string
+	Data *TraceData
+}
+
+// Merge assembles per-node snapshots of one trace into a single
+// cluster-wide TraceData. Span IDs are trace-local sequential counters,
+// so the same ID occurs on every node; Merge namespaces each span as
+// "node/id" (and its parent likewise) to keep them distinct, then
+// grafts each remote snapshot under its caller: a snapshot's root span
+// (empty Parent) adopts the node-namespaced reference its process
+// recorded in the root's remote_parent attribute (see SetRemoteParent).
+// The snapshot with no remote_parent — the process that minted the
+// trace — stays the cluster-wide root. Every span gains a "node"
+// attribute if it lacks one. Missing intermediate snapshots degrade
+// gracefully: an unresolvable parent renders as an extra root (see
+// WriteText) instead of hiding the subtree.
+//
+// Merge never fails; with zero parts it returns an empty TraceData so
+// partial federation still renders.
+func Merge(id string, parts []NodeTrace) *TraceData {
+	out := &TraceData{TraceID: id, Node: "federated"}
+	var (
+		haveStart bool
+		end       int64 // latest span end, unix nanos
+	)
+	for i, part := range parts {
+		if part.Data == nil {
+			continue
+		}
+		node := part.Data.Node
+		if node == "" {
+			node = part.Node
+		}
+		if node == "" {
+			node = "node" + strconv.Itoa(i)
+		}
+		for _, sp := range part.Data.Spans {
+			sp.Attrs = cloneAttrs(sp.Attrs)
+			if sp.Attrs["node"] == "" {
+				if sp.Attrs == nil {
+					sp.Attrs = map[string]string{}
+				}
+				sp.Attrs["node"] = node
+			}
+			switch {
+			case sp.Parent != "":
+				sp.Parent = node + "/" + sp.Parent
+			case sp.Attrs["remote_parent"] != "":
+				// Remote root: graft it under the span that called it.
+				sp.Parent = sp.Attrs["remote_parent"]
+			}
+			sp.ID = node + "/" + sp.ID
+			out.Spans = append(out.Spans, sp)
+			if !haveStart || sp.Start.Before(out.Start) {
+				out.Start = sp.Start
+				haveStart = true
+			}
+			if e := sp.Start.Add(sp.Duration).UnixNano(); e > end {
+				end = e
+			}
+		}
+		out.DroppedSpans += part.Data.DroppedSpans
+	}
+	if haveStart {
+		out.Duration = 0
+		if d := end - out.Start.UnixNano(); d > 0 {
+			out.Duration = time.Duration(d)
+		}
+	}
+	sort.SliceStable(out.Spans, func(i, j int) bool {
+		return out.Spans[i].Start.Before(out.Spans[j].Start)
+	})
+	return out
+}
+
+// cloneAttrs copies a span's attribute map so merging never mutates the
+// collector-owned snapshots it was fed.
+func cloneAttrs(m map[string]string) map[string]string {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// federateFixture builds the canonical two-process shape: a dashboard
+// trace whose child span 2 called a store, and the store's snapshot of
+// the same trace ID whose root recorded remote_parent=dashboard/2.
+func federateFixture(base time.Time) []NodeTrace {
+	dash := &TraceData{
+		TraceID: "11111111111111111111111111111111",
+		Node:    "dashboard",
+		Start:   base,
+		Spans: []SpanData{
+			{Name: "storage.get", ID: "2", Parent: "1", Start: base.Add(time.Millisecond), Duration: 40 * time.Millisecond},
+			{Name: "http /o/key", ID: "1", Start: base, Duration: 50 * time.Millisecond},
+		},
+	}
+	store := &TraceData{
+		TraceID: "11111111111111111111111111111111",
+		Node:    "store-a",
+		Start:   base.Add(2 * time.Millisecond),
+		Spans: []SpanData{
+			{Name: "disk.read", ID: "2", Parent: "1", Start: base.Add(3 * time.Millisecond), Duration: 10 * time.Millisecond},
+			{Name: "http /o/key", ID: "1", Start: base.Add(2 * time.Millisecond), Duration: 30 * time.Millisecond,
+				Attrs: map[string]string{"remote_parent": "dashboard/2", "depth": "1"}},
+		},
+	}
+	return []NodeTrace{{Node: "dashboard", Data: dash}, {Node: "store-a", Data: store}}
+}
+
+func TestMergeNamespacesAndGrafts(t *testing.T) {
+	base := time.Unix(1700000000, 0)
+	merged := Merge("11111111111111111111111111111111", federateFixture(base))
+
+	if merged.Node != "federated" {
+		t.Fatalf("merged node %q, want federated", merged.Node)
+	}
+	if len(merged.Spans) != 4 {
+		t.Fatalf("merged %d spans, want 4", len(merged.Spans))
+	}
+
+	byID := map[string]SpanData{}
+	for _, sp := range merged.Spans {
+		byID[sp.ID] = sp
+	}
+	// Same-ID spans from different processes must not collide.
+	for _, id := range []string{"dashboard/1", "dashboard/2", "store-a/1", "store-a/2"} {
+		if _, ok := byID[id]; !ok {
+			t.Fatalf("span %s missing; have %v", id, keys(byID))
+		}
+	}
+	// The store's root grafts under the dashboard span that called it.
+	if got := byID["store-a/1"].Parent; got != "dashboard/2" {
+		t.Fatalf("store root parent %q, want dashboard/2", got)
+	}
+	// In-process parents are namespaced within their node.
+	if got := byID["store-a/2"].Parent; got != "store-a/1" {
+		t.Fatalf("store child parent %q, want store-a/1", got)
+	}
+	// The minting process's root stays the cluster-wide root.
+	if got := byID["dashboard/1"].Parent; got != "" {
+		t.Fatalf("dashboard root parent %q, want empty", got)
+	}
+	// Every span carries node attribution.
+	for id, sp := range byID {
+		if sp.Attrs["node"] == "" {
+			t.Fatalf("span %s has no node attr", id)
+		}
+	}
+	// Start is the earliest span start; duration spans to the latest end.
+	if !merged.Start.Equal(base) {
+		t.Fatalf("merged start %v, want %v", merged.Start, base)
+	}
+	if merged.Duration != 50*time.Millisecond {
+		t.Fatalf("merged duration %v, want 50ms", merged.Duration)
+	}
+}
+
+func keys(m map[string]SpanData) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestMergeDoesNotMutateInputs(t *testing.T) {
+	base := time.Unix(1700000000, 0)
+	parts := federateFixture(base)
+	Merge("11111111111111111111111111111111", parts)
+	if parts[1].Data.Spans[1].Attrs["node"] != "" {
+		t.Fatal("Merge mutated an input snapshot's attrs")
+	}
+	if parts[0].Data.Spans[0].ID != "2" {
+		t.Fatal("Merge mutated an input snapshot's span ID")
+	}
+}
+
+func TestMergePartialDegradesToExtraRoots(t *testing.T) {
+	// Only the store part arrived (the dashboard's trace was evicted):
+	// the store root's remote_parent cannot resolve, and WriteText must
+	// surface it as a root rather than dropping the subtree.
+	base := time.Unix(1700000000, 0)
+	parts := federateFixture(base)[1:]
+	merged := Merge("11111111111111111111111111111111", parts)
+	if len(merged.Spans) != 2 {
+		t.Fatalf("merged %d spans, want 2", len(merged.Spans))
+	}
+	var sb strings.Builder
+	WriteText(&sb, merged)
+	out := sb.String()
+	for _, want := range []string{"http /o/key", "disk.read"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMergeEmptyAndNilParts(t *testing.T) {
+	merged := Merge("22222222222222222222222222222222", nil)
+	if merged == nil || len(merged.Spans) != 0 {
+		t.Fatalf("Merge(nil) = %+v, want empty TraceData", merged)
+	}
+	merged = Merge("22222222222222222222222222222222", []NodeTrace{{Node: "x", Data: nil}})
+	if len(merged.Spans) != 0 {
+		t.Fatal("nil part contributed spans")
+	}
+}
+
+func TestMergeUnnamedNodesFallBack(t *testing.T) {
+	base := time.Unix(1700000000, 0)
+	part := NodeTrace{Data: &TraceData{
+		TraceID: "33333333333333333333333333333333",
+		Spans:   []SpanData{{Name: "op", ID: "1", Start: base, Duration: time.Millisecond}},
+	}}
+	merged := Merge("33333333333333333333333333333333", []NodeTrace{part})
+	if merged.Spans[0].ID != "node0/1" {
+		t.Fatalf("unnamed node span ID %q, want node0/1", merged.Spans[0].ID)
+	}
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// TraceIDHeader is the HTTP header carrying a request's trace ID, both
+// inbound (a client or upstream service propagating its own ID) and
+// outbound (the serving stack echoing the ID it used, so a student can
+// paste it straight into /debug/traces?trace=). Every peer hop in the
+// sharded tier forwards it, so one user request keeps one ID across the
+// whole fleet.
+const TraceIDHeader = "X-NSDF-Trace-Id"
+
+// ParentHeader is the HTTP header carrying the calling span's identity
+// across a peer hop, rendered by Parent.String as "node/spanID@depth".
+// The receiving server's tracing middleware parses it (see
+// Span.SetRemoteParent) so federated assembly can graft the remote
+// trace under the exact span that issued the request, and the depth
+// bounds runaway forwarding chains in debug output.
+const ParentHeader = "X-NSDF-Trace-Parent"
+
+// Parent identifies the remote span on whose behalf a request is being
+// made: which node it ran on, its trace-local span ID, and how many
+// peer hops deep that node already was.
+type Parent struct {
+	// Node is the caller's fleet-wide node name (Collector.SetNode).
+	Node string
+	// SpanID is the caller's trace-local span identifier.
+	SpanID string
+	// Depth is the caller's hop depth: 0 at the process that minted the
+	// trace, +1 per peer hop.
+	Depth int
+}
+
+// Ref renders the parent's span reference in the node-namespaced form
+// federated assembly uses ("node/spanID").
+func (p Parent) Ref() string { return p.Node + "/" + p.SpanID }
+
+// String renders the header value: "node/spanID@depth".
+func (p Parent) String() string { return p.Ref() + "@" + strconv.Itoa(p.Depth) }
+
+// ParseParent parses a ParentHeader value. ok is false on malformed
+// input — callers treat that as "no remote parent" rather than erroring,
+// so a bad header degrades to a local-looking trace.
+func ParseParent(s string) (Parent, bool) {
+	ref, depthS, found := strings.Cut(s, "@")
+	if !found {
+		return Parent{}, false
+	}
+	node, span, found := strings.Cut(ref, "/")
+	if !found || node == "" || span == "" {
+		return Parent{}, false
+	}
+	depth, err := strconv.Atoi(depthS)
+	if err != nil || depth < 0 {
+		return Parent{}, false
+	}
+	return Parent{Node: node, SpanID: span, Depth: depth}, true
+}
+
+// Inject stamps the current trace onto an outbound request's headers:
+// the trace ID plus the calling span's node/span/depth identity. Without
+// an active trace it sets nothing, so untraced internal traffic stays
+// header-free. The storage HTTP client calls this on every peer request
+// — replication, hedged duplicates, and failover retries included.
+func Inject(ctx context.Context, h http.Header) {
+	s := FromContext(ctx)
+	if s == nil {
+		return
+	}
+	h.Set(TraceIDHeader, s.TraceID())
+	h.Set(ParentHeader, Parent{Node: s.Node(), SpanID: s.ID(), Depth: s.Depth()}.String())
+}

@@ -100,6 +100,10 @@ type SpanData struct {
 type TraceData struct {
 	// TraceID is the 32-hex-character request identifier.
 	TraceID string `json:"trace_id"`
+	// Node is the fleet-wide name of the process that recorded this
+	// snapshot (Collector.SetNode); empty on unnamed collectors.
+	// Federated assembly namespaces span IDs with it.
+	Node string `json:"node,omitempty"`
 	// Start is when the root span began.
 	Start time.Time `json:"start"`
 	// Duration is the root span's elapsed time.
@@ -149,10 +153,12 @@ type Trace struct {
 	col   *Collector
 	now   func() time.Time
 	start time.Time
+	node  string
 
 	mu       sync.Mutex
 	spans    []SpanData
 	dropped  int
+	depth    int
 	lastSpan uint64
 	finished *TraceData
 }
@@ -190,6 +196,7 @@ func (t *Trace) finish(end time.Time) *TraceData {
 	}
 	d := &TraceData{
 		TraceID:      t.id,
+		Node:         t.node,
 		Start:        t.start,
 		Duration:     end.Sub(t.start),
 		Spans:        t.spans,
@@ -237,6 +244,52 @@ func (s *Span) TraceID() string {
 		return ""
 	}
 	return s.tr.id
+}
+
+// ID returns the span's trace-local identifier, or "" on a nil span —
+// the value Inject forwards so a peer can name its caller exactly.
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+// Node returns the owning collector's fleet-wide node name, or "".
+func (s *Span) Node() string {
+	if s == nil {
+		return ""
+	}
+	return s.tr.node
+}
+
+// Depth returns the trace's peer-hop depth: 0 in the process that
+// minted the trace, +1 per hop (set by SetRemoteParent on the root span
+// of each downstream process).
+func (s *Span) Depth() int {
+	if s == nil {
+		return 0
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	return s.tr.depth
+}
+
+// SetRemoteParent marks the span's trace as a continuation of a remote
+// span: the trace's hop depth becomes the caller's depth + 1 and the
+// span is annotated with the caller's node-namespaced span reference,
+// which federated assembly (Merge) uses to graft this process's spans
+// under the exact remote span that issued the request. The tracing
+// middleware calls this on the root span when an inbound request
+// carries a valid ParentHeader.
+func (s *Span) SetRemoteParent(p Parent) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.tr.depth = p.Depth + 1
+	s.tr.mu.Unlock()
+	s.SetAttr(Str("remote_parent", p.Ref()), Int("depth", int64(p.Depth+1)))
 }
 
 // End completes the span and records it into its trace. Ending the root

@@ -7,14 +7,17 @@ import (
 	"strings"
 	"time"
 
+	"nsdfgo/internal/telemetry/flight"
 	"nsdfgo/internal/telemetry/trace"
 )
 
 // TraceIDHeader is the HTTP header carrying a request's trace ID, both
 // inbound (a client or upstream service propagating its own ID) and
 // outbound (the serving stack echoing the ID it used, so a student can
-// paste it straight into /debug/traces?trace=).
-const TraceIDHeader = "X-NSDF-Trace-Id"
+// paste it straight into /debug/traces?trace=). It now lives in the
+// trace package (which also defines the cross-process ParentHeader);
+// this alias keeps existing call sites compiling.
+const TraceIDHeader = trace.TraceIDHeader
 
 // TracingOptions configures WithTracing.
 type TracingOptions struct {
@@ -26,14 +29,21 @@ type TracingOptions struct {
 	SlowRequest time.Duration
 	// Logger receives the slow-request summaries; nil uses slog.Default().
 	Logger *slog.Logger
+	// Flight, when non-nil, receives a KindSlowRequest event for every
+	// request at or above SlowRequest.
+	Flight *flight.Recorder
 }
 
 // WithTracing wraps next so every request runs under a root span: a
 // well-formed inbound X-NSDF-Trace-Id is adopted (malformed or missing
 // IDs are replaced with a fresh one), the effective ID is echoed on the
-// response, and the completed trace is published to col. Requests slower
-// than opts.SlowRequest additionally log a structured summary naming the
-// worst spans, so sweep logs point at the guilty stage without a
+// response, and the completed trace is published to col. An inbound
+// X-NSDF-Trace-Parent (a peer hop — see trace.Inject) marks the root
+// span as the continuation of the remote caller's span, so federated
+// assembly can stitch this process's spans under it. Requests slower
+// than opts.SlowRequest additionally log a structured summary naming
+// the worst spans — and book a flight-recorder event when opts.Flight
+// is wired — so sweep logs point at the guilty stage without a
 // /debug/traces round trip.
 func WithTracing(next http.Handler, col *trace.Collector, opts TracingOptions) http.Handler {
 	logger := opts.Logger
@@ -49,6 +59,9 @@ func WithTracing(next http.Handler, col *trace.Collector, opts TracingOptions) h
 		root := col.StartTrace(id, "http "+r.URL.Path,
 			trace.Str("service", opts.Service),
 			trace.Str("method", r.Method))
+		if parent, ok := trace.ParseParent(r.Header.Get(trace.ParentHeader)); ok {
+			root.SetRemoteParent(parent)
+		}
 		rec := NewStatusRecorder(w)
 		next.ServeHTTP(rec, r.WithContext(trace.NewContext(r.Context(), root)))
 		root.SetAttr(trace.Int("status", int64(rec.Code)))
@@ -65,6 +78,9 @@ func WithTracing(next http.Handler, col *trace.Collector, opts TracingOptions) h
 				slog.Int("status", rec.Code),
 				slog.Duration("duration", data.Duration),
 				slog.String("worst", WorstSpans(data, 3)))
+			opts.Flight.Record(flight.KindSlowRequest, data.TraceID,
+				"%s %s status=%d duration=%s worst=%s",
+				r.Method, r.URL.Path, rec.Code, data.Duration, WorstSpans(data, 3))
 		}
 	})
 }
